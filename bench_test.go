@@ -1,0 +1,522 @@
+// Benchmarks, one per table and figure of the paper's evaluation (§5), plus
+// the ablation benches listed in DESIGN.md §5.
+//
+// These run on reduced workloads so `go test -bench=.` finishes in minutes;
+// the cmd/paperbench binary regenerates the full tables at configurable
+// scale (PAPER_SCALE=1 for the paper's sizes). Engines here are built in
+// their paper-faithful configuration; Ablation benches compare against the
+// modern variants.
+package simsearch_test
+
+import (
+	"sync"
+	"testing"
+
+	"simsearch/internal/bench"
+	"simsearch/internal/bitpack"
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+	"simsearch/internal/edit"
+	"simsearch/internal/filter"
+	"simsearch/internal/join"
+	"simsearch/internal/minhash"
+	"simsearch/internal/ngram"
+	"simsearch/internal/pool"
+	"simsearch/internal/scan"
+	"simsearch/internal/trie"
+)
+
+// Bench workloads are built once and shared. Sizes: 8,000 city names with 20
+// queries (k cycling 0–3), 4,000 DNA reads with 8 queries (k cycling
+// 0/4/8/16).
+var (
+	onceWorkloads sync.Once
+	cityW, dnaW   bench.Workload
+)
+
+func workloads() (bench.Workload, bench.Workload) {
+	onceWorkloads.Do(func() {
+		cfg := bench.Config{Scale: 0.02, CitySeed: 11, DNASeed: 12, QuerySeed: 13}
+		cityW = bench.CityWorkload(cfg)
+		cityW.Queries = cityW.Queries[:20]
+		dnaCfg := bench.Config{Scale: 0.01, CitySeed: 11, DNASeed: 12, QuerySeed: 13}
+		dnaW = bench.DNAWorkload(dnaCfg)
+		dnaW.Queries = dnaW.Queries[:8]
+	})
+	return cityW, dnaW
+}
+
+func benchBatch(b *testing.B, eng core.Searcher, qs []core.Query, runner pool.Runner) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SearchBatch(eng, qs, runner)
+	}
+}
+
+// --- Table I ----------------------------------------------------------------
+
+func BenchmarkTableI_DatasetStats(b *testing.B) {
+	city, dna := workloads()
+	b.Run("city", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataset.Stats(city.Data)
+		}
+	})
+	b.Run("dna", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataset.Stats(dna.Data)
+		}
+	})
+}
+
+// --- Tables II and VI: sequential thread sweeps -------------------------------
+
+func benchSeqThreads(b *testing.B, w bench.Workload) {
+	for _, n := range bench.ThreadCounts {
+		eng := core.NewSequential(w.Data,
+			scan.WithStrategy(scan.ParallelManaged), scan.WithWorkers(n))
+		b.Run(eng.Name()+"-"+itoa(n), func(b *testing.B) {
+			benchBatch(b, eng, w.Queries, nil)
+		})
+	}
+}
+
+func BenchmarkTableII_SeqCityThreads(b *testing.B) {
+	city, _ := workloads()
+	benchSeqThreads(b, city)
+}
+
+func BenchmarkTableVI_SeqDNAThreads(b *testing.B) {
+	_, dna := workloads()
+	benchSeqThreads(b, dna)
+}
+
+// --- Tables III and VII: sequential optimization ladders ----------------------
+
+func benchSeqLadder(b *testing.B, w bench.Workload, skipBase bool) {
+	for _, s := range scan.Strategies() {
+		if skipBase && s == scan.Base {
+			// The DNA base rung is the paper's "≈ half day" cell; even at
+			// bench scale it dominates the suite. One query stands in.
+			eng := core.NewSequential(w.Data, scan.WithStrategy(s))
+			b.Run(s.String()+"-1query", func(b *testing.B) {
+				benchBatch(b, eng, w.Queries[:1], nil)
+			})
+			continue
+		}
+		eng := core.NewSequential(w.Data,
+			scan.WithStrategy(s), scan.WithWorkers(8))
+		b.Run(s.String(), func(b *testing.B) {
+			benchBatch(b, eng, w.Queries, nil)
+		})
+	}
+}
+
+func BenchmarkTableIII_SeqCityLadder(b *testing.B) {
+	city, _ := workloads()
+	benchSeqLadder(b, city, false)
+}
+
+func BenchmarkTableVII_SeqDNALadder(b *testing.B) {
+	_, dna := workloads()
+	benchSeqLadder(b, dna, true)
+}
+
+// --- Tables IV and VIII: index thread sweeps ----------------------------------
+
+func benchIndexThreads(b *testing.B, w bench.Workload) {
+	eng := core.NewTrie(w.Data, true)
+	for _, n := range bench.ThreadCounts {
+		runner := pool.Fixed{Workers: n}
+		b.Run(runner.Name(), func(b *testing.B) {
+			benchBatch(b, eng, w.Queries, runner)
+		})
+	}
+}
+
+func BenchmarkTableIV_IndexCityThreads(b *testing.B) {
+	city, _ := workloads()
+	benchIndexThreads(b, city)
+}
+
+func BenchmarkTableVIII_IndexDNAThreads(b *testing.B) {
+	_, dna := workloads()
+	benchIndexThreads(b, dna)
+}
+
+// --- Tables V and IX: index ladders -------------------------------------------
+
+func benchIndexLadder(b *testing.B, w bench.Workload, threads int) {
+	plain := core.NewTrie(w.Data, false)
+	b.Run("base", func(b *testing.B) {
+		benchBatch(b, plain, w.Queries, nil)
+	})
+	compressed := core.NewTrie(w.Data, true)
+	b.Run("compression", func(b *testing.B) {
+		benchBatch(b, compressed, w.Queries, nil)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchBatch(b, compressed, w.Queries, pool.Fixed{Workers: threads})
+	})
+}
+
+func BenchmarkTableV_IndexCityLadder(b *testing.B) {
+	city, _ := workloads()
+	benchIndexLadder(b, city, bench.BestIndexCityThreads)
+}
+
+func BenchmarkTableIX_IndexDNALadder(b *testing.B) {
+	_, dna := workloads()
+	benchIndexLadder(b, dna, bench.BestIndexDNAThreads)
+}
+
+// --- Figures 6 and 7: best engine head-to-head --------------------------------
+
+func benchFigure(b *testing.B, w bench.Workload, seqThreads, idxThreads int) {
+	seq := core.NewSequential(w.Data,
+		scan.WithStrategy(scan.ParallelManaged), scan.WithWorkers(seqThreads))
+	b.Run("best-sequential", func(b *testing.B) {
+		benchBatch(b, seq, w.Queries, nil)
+	})
+	idx := core.NewTrie(w.Data, true)
+	b.Run("best-index", func(b *testing.B) {
+		benchBatch(b, idx, w.Queries, pool.Fixed{Workers: idxThreads})
+	})
+}
+
+func BenchmarkFigure6_City(b *testing.B) {
+	city, _ := workloads()
+	benchFigure(b, city, bench.BestSeqCityThreads, bench.BestIndexCityThreads)
+}
+
+func BenchmarkFigure7_DNA(b *testing.B) {
+	_, dna := workloads()
+	benchFigure(b, dna, bench.BestSeqDNAThreads, bench.BestIndexDNAThreads)
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------------
+
+// BenchmarkAblationEditDistance compares the kernel ladder on both alphabets:
+// full matrix, two-row, the paper's §3.2 kernel, the banded kernel and the
+// Myers bit-parallel kernel.
+func BenchmarkAblationEditDistance(b *testing.B) {
+	city, dna := workloads()
+	pairs := map[string][2]string{
+		"city": {city.Data[0], city.Data[1]},
+		"dna":  {dna.Data[0], dna.Data[1]},
+	}
+	ks := map[string]int{"city": 3, "dna": 16}
+	for name, p := range pairs {
+		k := ks[name]
+		b.Run(name+"/full-matrix", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				edit.DistanceFullMatrix(p[0], p[1])
+			}
+		})
+		b.Run(name+"/two-row", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				edit.Distance(p[0], p[1])
+			}
+		})
+		b.Run(name+"/paper-bounded", func(b *testing.B) {
+			var s edit.Scratch
+			for i := 0; i < b.N; i++ {
+				s.PaperBoundedDistance(p[0], p[1], k)
+			}
+		})
+		b.Run(name+"/banded", func(b *testing.B) {
+			var s edit.Scratch
+			for i := 0; i < b.N; i++ {
+				s.BoundedDistance(p[0], p[1], k)
+			}
+		})
+		b.Run(name+"/myers", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				edit.MyersDistance(p[0], p[1])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilters measures the pre-filters' per-pair cost.
+func BenchmarkAblationFilters(b *testing.B) {
+	_, dna := workloads()
+	q, x := dna.Data[0], dna.Data[1]
+	freq := filter.DNAFrequency()
+	filters := []filter.Filter{filter.Length{}, freq, filter.Histogram{}}
+	for _, f := range filters {
+		b.Run(f.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Keep(q, x, 8)
+			}
+		})
+	}
+	b.Run("freq-precomputed", func(b *testing.B) {
+		vq, vx := freq.VectorOf(q), freq.VectorOf(x)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			freq.Bound(vq, vx)
+		}
+	})
+}
+
+// BenchmarkAblationTrieCompression quantifies the §4.2 claim: compression
+// reduces nodes and speeds up search, in both pruning modes.
+func BenchmarkAblationTrieCompression(b *testing.B) {
+	city, _ := workloads()
+	configs := []struct {
+		name     string
+		compress bool
+		opts     []trie.Option
+	}{
+		{"paper-plain", false, nil},
+		{"paper-compressed", true, nil},
+		{"modern-plain", false, []trie.Option{trie.WithModernPruning()}},
+		{"modern-compressed", true, []trie.Option{trie.WithModernPruning()}},
+	}
+	for _, c := range configs {
+		tr := trie.Build(city.Data, c.opts...)
+		if c.compress {
+			tr.Compress()
+		}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportMetric(float64(tr.NodeCount()), "nodes")
+			for i := 0; i < b.N; i++ {
+				for _, q := range city.Queries {
+					tr.Search(q.Text, q.K)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBitpack compares plain vs 3-bit-packed DNA scanning
+// (§6 "Dictionary Compression").
+func BenchmarkAblationBitpack(b *testing.B) {
+	_, dna := workloads()
+	corpus, err := bitpack.NewCorpus(dna.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := dna.Queries[1].Text
+	b.Run("plain", func(b *testing.B) {
+		var s edit.Scratch
+		for i := 0; i < b.N; i++ {
+			for _, x := range dna.Data {
+				s.BoundedDistance(q, x, 8)
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportMetric(corpus.CompressionRatio(), "compression")
+		for i := 0; i < b.N; i++ {
+			if _, err := corpus.Search(q, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSorting measures the §6 "Sorting" idea: length-sorted
+// scanning vs plain scanning.
+func BenchmarkAblationSorting(b *testing.B) {
+	city, _ := workloads()
+	plain := core.NewSequential(city.Data, scan.WithStrategy(scan.SimpleTypes))
+	sorted := core.NewSequential(city.Data,
+		scan.WithStrategy(scan.SimpleTypes), scan.WithSortByLength())
+	b.Run("unsorted", func(b *testing.B) {
+		benchBatch(b, plain, city.Queries, nil)
+	})
+	b.Run("length-sorted", func(b *testing.B) {
+		benchBatch(b, sorted, city.Queries, nil)
+	})
+}
+
+// BenchmarkBaselines races every engine family on both workloads.
+func BenchmarkBaselines(b *testing.B) {
+	city, dna := workloads()
+	for _, wl := range []bench.Workload{city, dna} {
+		engines := []core.Searcher{
+			core.NewSequential(wl.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel()),
+			core.NewTrie(wl.Data, true, trie.WithModernPruning()),
+			core.NewTrie(wl.Data, true),
+			core.NewBKTree(wl.Data),
+			core.NewVPTree(wl.Data),
+			core.NewQGram(2, wl.Data),
+			core.NewSuffixArray(wl.Data),
+		}
+		for _, eng := range engines {
+			b.Run(wl.Name+"/"+eng.Name(), func(b *testing.B) {
+				benchBatch(b, eng, wl.Queries, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationAutomaton compares the lazy-DFA Levenshtein automaton
+// scan against the DP-kernel scans.
+func BenchmarkAblationAutomaton(b *testing.B) {
+	city, dna := workloads()
+	for _, wl := range []bench.Workload{city, dna} {
+		dp := core.NewSequential(wl.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel())
+		aut := core.NewAutomatonScan(wl.Data)
+		b.Run(wl.Name+"/dp-banded", func(b *testing.B) {
+			benchBatch(b, dp, wl.Queries, nil)
+		})
+		b.Run(wl.Name+"/automaton", func(b *testing.B) {
+			benchBatch(b, aut, wl.Queries, nil)
+		})
+	}
+}
+
+// BenchmarkAblationPositionalQGram compares the positionless and positional
+// q-gram indexes.
+func BenchmarkAblationPositionalQGram(b *testing.B) {
+	city, _ := workloads()
+	plain := ngram.New(2, city.Data)
+	positional := ngram.NewPositional(2, city.Data)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range city.Queries {
+				plain.Search(q.Text, q.K)
+			}
+		}
+	})
+	b.Run("positional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range city.Queries {
+				positional.Search(q.Text, q.K)
+			}
+		}
+	})
+}
+
+// BenchmarkJoin races the three join algorithms on a city self-join.
+func BenchmarkJoin(b *testing.B) {
+	city, _ := workloads()
+	data := city.Data[:2000]
+	for _, alg := range []join.Algorithm{join.NestedLoop, join.LengthSorted, join.TrieJoin, join.PassJoin} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				join.SelfJoin(data, 1, join.Options{Algorithm: alg, Workers: 4})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNearestK compares best-first trie search against
+// iterative-deepening TopK over the same trie.
+func BenchmarkAblationNearestK(b *testing.B) {
+	city, _ := workloads()
+	eng := core.NewTrie(city.Data, true, trie.WithModernPruning())
+	queries := city.Queries
+	b.Run("best-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				eng.Tree().NearestK(q.Text, 5, 3)
+			}
+		}
+	})
+	// Force the generic iterative-deepening path with a wrapper type.
+	wrapped := struct{ core.Searcher }{eng}
+	b.Run("iterative-deepening", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				core.TopK(wrapped, q.Text, 5, 3)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExternalTrie compares the PETER-style external-suffix
+// tree against the full in-memory tree on the DNA workload (long strings,
+// where suffix externalization matters).
+func BenchmarkAblationExternalTrie(b *testing.B) {
+	_, dna := workloads()
+	full := trie.Build(dna.Data, trie.WithModernPruning())
+	full.Compress()
+	ext, err := trie.BuildExternal(dna.Data, 12, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("in-memory", func(b *testing.B) {
+		b.ReportMetric(float64(full.Stats().LabelBytes), "resident-bytes")
+		for i := 0; i < b.N; i++ {
+			for _, q := range dna.Queries {
+				full.Search(q.Text, q.K)
+			}
+		}
+	})
+	b.Run("external-suffixes", func(b *testing.B) {
+		b.ReportMetric(float64(ext.ResidentLabelBytes()), "resident-bytes")
+		for i := 0; i < b.N; i++ {
+			for _, q := range dna.Queries {
+				if _, err := ext.Search(q.Text, q.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMinHash measures the approximate LSH engine against the
+// exact scan, reporting measured recall alongside speed.
+func BenchmarkAblationMinHash(b *testing.B) {
+	city, _ := workloads()
+	idx := minhash.New(city.Data, minhash.Config{Q: 2, Bands: 32, Rows: 2})
+	queries := make([]string, len(city.Queries))
+	for i, q := range city.Queries {
+		queries[i] = q.Text
+	}
+	b.Run("lsh-verified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				idx.Search(q, 1)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(idx.Recall(queries, 1), "recall")
+	})
+	exact := core.NewSequential(city.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel())
+	b.Run("exact-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				exact.Search(core.Query{Text: q, K: 1})
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAdaptivePool compares the three §3.6 strategies on a
+// uniform workload.
+func BenchmarkAblationAdaptivePool(b *testing.B) {
+	city, _ := workloads()
+	eng := core.NewSequential(city.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel())
+	runners := []pool.Runner{
+		pool.Serial{},
+		pool.PerTask{},
+		pool.Fixed{Workers: 8},
+		&pool.Adaptive{Min: 1, Max: 16},
+	}
+	for _, r := range runners {
+		b.Run(r.Name(), func(b *testing.B) {
+			benchBatch(b, eng, city.Queries, r)
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,79 @@
+// Command datagen generates the reproduction's synthetic datasets and query
+// files and prints their Table I statistics.
+//
+// Usage:
+//
+//	datagen -kind city -n 400000 -seed 1 -out cities.txt
+//	datagen -kind dna  -n 750000 -seed 2 -out reads.txt
+//	datagen -kind city -n 40000 -queries 1000 -maxk 3 -out cities.txt -qout queries.txt
+//	datagen -stats cities.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simsearch/internal/dataset"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "city", "dataset kind: city or dna")
+		n       = flag.Int("n", 40000, "number of strings to generate")
+		seed    = flag.Int64("seed", 20130322, "generator seed")
+		out     = flag.String("out", "", "output file (stdout if empty)")
+		queries = flag.Int("queries", 0, "also generate this many perturbed queries")
+		maxk    = flag.Int("maxk", 3, "maximum edits applied to a query")
+		qout    = flag.String("qout", "", "query output file (requires -queries)")
+		stats   = flag.String("stats", "", "print Table I stats of an existing dataset file and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		data, err := dataset.Load(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %s\n", *stats, dataset.Stats(data))
+		return
+	}
+
+	var data []string
+	switch *kind {
+	case "city":
+		data = dataset.Cities(*n, *seed)
+	case "dna":
+		data = dataset.DNAReads(*n, *seed)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q (want city or dna)", *kind))
+	}
+
+	if *out == "" {
+		for _, s := range data {
+			fmt.Println(s)
+		}
+	} else if err := dataset.Save(*out, data); err != nil {
+		fatal(err)
+	} else {
+		fmt.Printf("wrote %d strings to %s (%s)\n", len(data), *out, dataset.Stats(data))
+	}
+
+	if *queries > 0 {
+		qs := dataset.Queries(data, *queries, *maxk, *seed+1)
+		if *qout == "" {
+			for _, q := range qs {
+				fmt.Println(q)
+			}
+		} else if err := dataset.Save(*qout, qs); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("wrote %d queries to %s\n", len(qs), *qout)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command simserve runs the similarity-search HTTP service over a dataset
+// file (or a synthetic dataset when -gen is given).
+//
+// Usage:
+//
+//	simserve -data cities.txt -engine trie -addr :8080
+//	simserve -gen city -n 40000 -addr :8080
+//
+//	curl 'localhost:8080/search?q=Berlni&k=2'
+//	curl 'localhost:8080/topk?q=Hambrug&n=3&maxk=3'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"simsearch"
+	"simsearch/internal/core"
+	"simsearch/internal/httpapi"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file, one string per line")
+		gen      = flag.String("gen", "", "generate a synthetic dataset instead: city or dna")
+		n        = flag.Int("n", 40000, "synthetic dataset size")
+		engine   = flag.String("engine", "trie", "engine: scan, trie, bktree, qgram, suffixarray")
+		workers  = flag.Int("workers", 0, "scan engine workers")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxK     = flag.Int("maxk", 16, "largest accepted edit threshold")
+	)
+	flag.Parse()
+
+	var data []string
+	var err error
+	switch {
+	case *dataPath != "":
+		data, err = simsearch.LoadStrings(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *gen == "city":
+		data = simsearch.GenerateCities(*n, 1)
+	case *gen == "dna":
+		data = simsearch.GenerateDNAReads(*n, 1)
+	default:
+		fmt.Fprintln(os.Stderr, "simserve: need -data FILE or -gen city|dna")
+		os.Exit(2)
+	}
+
+	opts := simsearch.Options{Workers: *workers}
+	switch *engine {
+	case "scan":
+		opts.Algorithm = simsearch.Scan
+	case "trie":
+		opts.Algorithm = simsearch.Trie
+	case "bktree":
+		opts.Algorithm = simsearch.BKTree
+	case "qgram":
+		opts.Algorithm = simsearch.QGram
+	case "suffixarray":
+		opts.Algorithm = simsearch.SuffixArray
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	start := time.Now()
+	eng := simsearch.New(data, opts)
+	log.Printf("engine %s over %d strings built in %v", eng.Name(), len(data), time.Since(start))
+
+	srv := httpapi.New(eng.(core.Searcher), data)
+	srv.MaxK = *maxK
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,43 @@
+// Quickstart: build an index over a handful of strings, run a fuzzy query,
+// verify the engine against the reference implementation, and inspect the
+// edit script behind a match.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simsearch"
+)
+
+func main() {
+	cities := []string{
+		"Berlin", "Bern", "Bonn", "Munich", "Ulm", "Köln",
+		"Hamburg", "Magdeburg", "Erlangen", "Bremen",
+	}
+
+	// The compressed prefix-tree index is the library's default engine for
+	// repeated queries over a fixed dataset.
+	index := simsearch.NewIndex(cities)
+
+	// A user typed "Berlni" — find everything within two edits.
+	query := simsearch.Query{Text: "Berlni", K: 2}
+	for _, m := range index.Search(query) {
+		fmt.Printf("%-10s edit distance %d\n", cities[m.ID], m.Dist)
+	}
+
+	// Every engine in the library returns identical results; Verify checks
+	// this one against the paper's reference implementation.
+	if err := simsearch.Verify(index, cities, []simsearch.Query{query}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified against the reference implementation")
+
+	// One-off distance computations don't need an engine.
+	fmt.Printf("ed(%q, %q) = %d\n", "AGGCGT", "AGAGT",
+		simsearch.Distance("AGGCGT", "AGAGT")) // the paper's §2.2 example
+}

@@ -1,0 +1,237 @@
+package simsearch_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"simsearch"
+)
+
+func TestJoinFacade(t *testing.T) {
+	r := []string{"berlin", "ulm"}
+	s := []string{"berlim", "ulm", "paris"}
+	for _, alg := range []simsearch.JoinAlgorithm{
+		simsearch.JoinNestedLoop, simsearch.JoinLengthSorted, simsearch.JoinTrie, simsearch.JoinPass,
+	} {
+		pairs := simsearch.Join(r, s, 1, alg, 2)
+		want := []simsearch.Pair{{R: 0, S: 0, Dist: 1}, {R: 1, S: 1, Dist: 0}}
+		if !reflect.DeepEqual(pairs, want) {
+			t.Errorf("%v: got %v, want %v", alg, pairs, want)
+		}
+	}
+}
+
+func TestSelfJoinFacade(t *testing.T) {
+	data := []string{"aaa", "aab", "zzz"}
+	pairs := simsearch.SelfJoin(data, 1, simsearch.JoinTrie, 1)
+	want := []simsearch.Pair{{R: 0, S: 1, Dist: 1}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("got %v", pairs)
+	}
+}
+
+func TestClustersFacade(t *testing.T) {
+	data := []string{"berlin", "berlim", "tokyo"}
+	groups := simsearch.Clusters(data, 1, 1)
+	if len(groups) != 2 || len(groups[0]) != 2 || groups[1][0] != 2 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestNewAuto(t *testing.T) {
+	small := simsearch.NewAuto(cities, 2)
+	if got := small.Search(simsearch.Query{Text: "berlin", K: 1}); len(got) != 1 {
+		t.Errorf("auto small: %v", got)
+	}
+	big := simsearch.GenerateCities(5000, 3)
+	eng := simsearch.NewAuto(big, 2)
+	if err := simsearch.Verify(eng, big, []simsearch.Query{{Text: big[0], K: 2}}); err != nil {
+		t.Errorf("auto big: %v", err)
+	}
+	// Permissive threshold on short strings must still be exact.
+	loose := simsearch.NewAuto(big[:100], 30)
+	if err := simsearch.Verify(loose, big[:100], []simsearch.Query{{Text: "x", K: 30}}); err != nil {
+		t.Errorf("auto loose: %v", err)
+	}
+}
+
+func TestDynamicFacade(t *testing.T) {
+	empty := simsearch.NewDynamic()
+	if empty.Len() != 0 {
+		t.Error("NewDynamic not empty")
+	}
+	d := simsearch.NewDynamicFrom([]string{"berlin"})
+	id := d.Add("bern")
+	ms := d.Search(simsearch.Query{Text: "bern", K: 0})
+	if len(ms) != 1 || ms[0].ID != id {
+		t.Errorf("got %v", ms)
+	}
+	if !d.Remove(id) || d.Len() != 1 {
+		t.Error("remove failed")
+	}
+}
+
+func TestTopKFacade(t *testing.T) {
+	eng := simsearch.NewIndex(cities)
+	ms := simsearch.TopK(eng, "berlni", 2, 3)
+	if len(ms) != 2 || ms[0].Dist > ms[1].Dist {
+		t.Errorf("TopK = %v", ms)
+	}
+	m, ok := simsearch.Nearest(eng, "bonn", 2)
+	if !ok || cities[m.ID] != "bonn" || m.Dist != 0 {
+		t.Errorf("Nearest = %v, %v", m, ok)
+	}
+	if _, ok := simsearch.Nearest(eng, "xxxxxxxxxxxxxxxx", 2); ok {
+		t.Error("impossible neighbour found")
+	}
+}
+
+func TestDistanceVariantsFacade(t *testing.T) {
+	if simsearch.HammingDistance("ACGT", "AGGT") != 1 {
+		t.Error("Hamming broken")
+	}
+	if simsearch.HammingDistance("a", "ab") != -1 {
+		t.Error("Hamming length check broken")
+	}
+	if simsearch.DamerauDistance("ab", "ba") != 1 {
+		t.Error("Damerau broken")
+	}
+	script := simsearch.EditScript("AGGCGT", "AGAGT")
+	nonMatch := 0
+	for _, op := range script {
+		if op.Kind.String() != "match" {
+			nonMatch++
+		}
+	}
+	if nonMatch != 2 {
+		t.Errorf("EditScript cost = %d, want 2", nonMatch)
+	}
+}
+
+func TestHammingFacade(t *testing.T) {
+	data := []string{"ACGT", "ACGA", "ACG"}
+	eng := simsearch.NewIndex(data)
+	ms, ok := simsearch.HammingSearch(eng, "ACGT", 1)
+	if !ok || len(ms) != 2 || ms[0].ID != 0 || ms[1].ID != 1 {
+		t.Errorf("HammingSearch = %v, %v", ms, ok)
+	}
+	if _, ok := simsearch.HammingSearch(simsearch.NewScan(data), "ACGT", 1); ok {
+		t.Error("scan engine claimed Hamming support")
+	}
+	scan := simsearch.HammingScan(data, "ACGT", 1)
+	if !reflect.DeepEqual(scan, ms) {
+		t.Errorf("HammingScan %v != HammingSearch %v", scan, ms)
+	}
+}
+
+func TestSimilarityFacade(t *testing.T) {
+	if simsearch.Similarity("abcd", "abcd") != 1 {
+		t.Error("identical similarity != 1")
+	}
+	if !simsearch.SimilarAtLeast("abcd", "abcx", 0.75) {
+		t.Error("SimilarAtLeast broken")
+	}
+}
+
+func TestWeightedDistanceFacade(t *testing.T) {
+	c := simsearch.WeightedCosts{Insert: 1, Delete: 1, Substitute: 1}
+	if simsearch.WeightedDistance("AGGCGT", "AGAGT", c) != 2 {
+		t.Error("unit weighted distance broken")
+	}
+	c = simsearch.WeightedCosts{Insert: 1, Delete: 5, Substitute: 5}
+	if simsearch.WeightedDistance("ab", "abc", c) != 1 {
+		t.Error("asymmetric weighted distance broken")
+	}
+}
+
+func TestGenerateZipfQueriesFacade(t *testing.T) {
+	data := simsearch.GenerateCities(500, 1)
+	qs := simsearch.GenerateZipfQueries(data, 50, 2, 1.4, 3)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		ok := false
+		for _, s := range data {
+			if simsearch.WithinK(q, s, 2) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("query %q too far from the dataset", q)
+		}
+	}
+}
+
+func TestLoadSequencesFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.fasta")
+	if err := os.WriteFile(path, []byte(">x\nACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := simsearch.LoadSequences(path)
+	if err != nil || len(got) != 1 || got[0] != "ACGT" {
+		t.Errorf("LoadSequences = %v, %v", got, err)
+	}
+}
+
+func TestSubstringFacade(t *testing.T) {
+	if simsearch.SubstringDistance("ACGT", "TTACGTT") != 0 {
+		t.Error("exact substring missed")
+	}
+	if !simsearch.ContainsApprox("ACGT", "TTACTT", 1) {
+		t.Error("1-edit substring missed")
+	}
+	occ := simsearch.FindApprox("abc", "abcabc", 0)
+	if len(occ) != 2 || occ[0].End != 3 || occ[1].End != 6 {
+		t.Errorf("FindApprox = %v", occ)
+	}
+}
+
+func TestIndexPersistence(t *testing.T) {
+	eng := simsearch.NewIndex(cities)
+	var buf bytes.Buffer
+	if err := simsearch.SaveIndex(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := simsearch.LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := simsearch.Query{Text: "berlni", K: 2}
+	if !reflect.DeepEqual(loaded.Search(q), eng.Search(q)) {
+		t.Error("loaded index diverges")
+	}
+
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := simsearch.SaveIndexFile(path, eng); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := simsearch.LoadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded2.Search(q), eng.Search(q)) {
+		t.Error("file-loaded index diverges")
+	}
+
+	// Non-trie engines are rejected, with a descriptive message.
+	err = simsearch.SaveIndex(&bytes.Buffer{}, simsearch.NewScan(cities))
+	if err == nil || !strings.Contains(err.Error(), "not a serializable trie") {
+		t.Errorf("SaveIndex scan engine: %v", err)
+	}
+	if err := simsearch.SaveIndexFile("/nonexistent-dir/idx.bin", eng); err == nil {
+		t.Error("SaveIndexFile to unwritable path accepted")
+	}
+	if err := simsearch.SaveIndexFile(filepath.Join(t.TempDir(), "x.bin"), simsearch.NewScan(cities)); err == nil {
+		t.Error("SaveIndexFile of scan engine accepted")
+	}
+	if _, err := simsearch.LoadIndexFile("/nonexistent/x.bin"); err == nil {
+		t.Error("LoadIndexFile accepted a missing file")
+	}
+}

@@ -1,0 +1,3 @@
+module simsearch
+
+go 1.22

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/join"
+	"simsearch/internal/scan"
+	"simsearch/internal/trie"
+)
+
+// Extension experiments beyond the paper's tables. They carry invented
+// numbers (X, XI) and are clearly labelled as additions: the join race
+// covers the competition's second problem the paper skipped, and the engine
+// matrix races every engine family — including the modern variants — on
+// both workloads, quantifying how implementation-dependent the paper's
+// conclusion is.
+
+// TableX races the four join algorithms on a self-join of a subset of the
+// workload (join cost grows quadratically in the worst case, so the subset
+// size is capped).
+func TableX(w Workload, k, maxN int) *Table {
+	n := len(w.Data)
+	if maxN <= 0 {
+		maxN = 20000
+	}
+	if n > maxN {
+		n = maxN
+	}
+	data := w.Data[:n]
+	t := &Table{
+		Title:   fmt.Sprintf("Table X (extension). Similarity self-join on %d %s strings, k=%d", n, w.Name, k),
+		Columns: []string{"time"},
+	}
+	for _, alg := range []join.Algorithm{join.NestedLoop, join.LengthSorted, join.TrieJoin, join.PassJoin} {
+		start := time.Now()
+		pairs := join.SelfJoin(data, k, join.Options{Algorithm: alg, Workers: 8})
+		elapsed := time.Since(start)
+		t.AddRow(fmt.Sprintf("%-14s (%d pairs)", alg.String(), len(pairs)),
+			[]Cell{{Elapsed: elapsed}})
+	}
+	return t
+}
+
+// TableXII reports per-engine construction cost: wall-clock build time and
+// retained heap after a GC. The paper excludes build time from every
+// measurement (§5.2); this table shows what that exclusion hides.
+func TableXII(w Workload) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Table XII (extension). Index construction cost on the %s workload (%d strings)", w.Name, len(w.Data)),
+		Columns: []string{"build time"},
+	}
+	builders := []struct {
+		name  string
+		build func() core.Searcher
+	}{
+		{"scan (no index)", func() core.Searcher { return core.NewSequential(w.Data, scan.WithStrategy(scan.SimpleTypes)) }},
+		{"trie (paper)", func() core.Searcher { return core.NewTrie(w.Data, true) }},
+		{"trie (modern)", func() core.Searcher { return core.NewTrie(w.Data, true, trie.WithModernPruning()) }},
+		{"bk-tree", func() core.Searcher { return core.NewBKTree(w.Data) }},
+		{"vp-tree", func() core.Searcher { return core.NewVPTree(w.Data) }},
+		{"qgram-2", func() core.Searcher { return core.NewQGram(2, w.Data) }},
+		{"suffix array", func() core.Searcher { return core.NewSuffixArray(w.Data) }},
+	}
+	var sink core.Searcher
+	for _, b := range builders {
+		// Drop the previous engine before the baseline measurement, or the
+		// delta would be (current - previous) instead of current.
+		sink = nil
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		sink = b.build()
+		elapsed := time.Since(start)
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		retained := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		if retained < 0 {
+			retained = 0
+		}
+		t.AddRow(fmt.Sprintf("%-16s [%6.1f MB retained]", b.name, float64(retained)/(1<<20)),
+			[]Cell{{Elapsed: elapsed}})
+	}
+	runtime.KeepAlive(sink)
+	return t
+}
+
+// TableXI races every engine family — paper-faithful and modern — on the
+// workload's full query batch.
+func TableXI(w Workload) *Table {
+	t := NewTable(fmt.Sprintf("Table XI (extension). Engine matrix on the %s workload", w.Name), w.Counts)
+	engines := []core.Searcher{
+		core.NewSequential(w.Data, scan.WithStrategy(scan.SimpleTypes)),
+		core.NewSequential(w.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel()),
+		core.NewSequential(w.Data, scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel(), scan.WithSortByLength()),
+		core.NewTrie(w.Data, true),
+		core.NewTrie(w.Data, true, trie.WithModernPruning()),
+		core.NewAutomatonScan(w.Data),
+		core.NewBKTree(w.Data),
+		core.NewQGram(2, w.Data),
+		core.NewSuffixArray(w.Data),
+	}
+	names := []string{
+		"scan (paper kernel)",
+		"scan (banded kernel)",
+		"scan (banded+sorted)",
+		"trie (paper pruning)",
+		"trie (modern pruning)",
+		"scan (automaton)",
+		"bk-tree",
+		"qgram-2",
+		"suffix array",
+	}
+	for i, eng := range engines {
+		eng := eng
+		cells := series(w, func(qs []core.Query) time.Duration {
+			return MeasureBatch(eng, qs, nil)
+		})
+		t.AddRow(names[i], cells)
+	}
+	return t
+}
+
+// TableXIII answers the paper's final §6 future-work question — "Has the
+// number of data records an effect on the best solution?" — by sweeping the
+// dataset size and timing the paper-faithful best sequential and best index
+// configurations on a fixed query batch.
+func TableXIII(w Workload, queries int) *Table {
+	if queries > len(w.Queries) {
+		queries = len(w.Queries)
+	}
+	qs := w.Queries[:queries]
+	t := &Table{
+		Title: fmt.Sprintf("Table XIII (extension). Dataset-size sweep on the %s workload (%d queries)",
+			w.Name, queries),
+		Columns: []string{"sequential", "index"},
+	}
+	for _, frac := range []int{8, 4, 2, 1} {
+		n := len(w.Data) / frac
+		if n == 0 {
+			continue
+		}
+		data := w.Data[:n]
+		seq := core.NewSequential(data, scan.WithStrategy(scan.SimpleTypes))
+		start := time.Now()
+		for _, q := range qs {
+			seq.Search(q)
+		}
+		seqTime := time.Since(start)
+		idx := core.NewTrie(data, true)
+		start = time.Now()
+		for _, q := range qs {
+			idx.Search(q)
+		}
+		idxTime := time.Since(start)
+		t.AddRow(fmt.Sprintf("n=%d", n), []Cell{{Elapsed: seqTime}, {Elapsed: idxTime}})
+	}
+	return t
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/stats"
+)
+
+// MeasureLatencies answers every query serially, recording each query's
+// wall-clock latency, and returns the distribution summary. The paper only
+// reports batch totals; the distribution shows what they hide — on the mixed
+// DNA workload the k=16 queries dominate (p99 ≫ p50).
+func MeasureLatencies(s core.Searcher, qs []core.Query) stats.Summary {
+	samples := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		start := time.Now()
+		s.Search(q)
+		samples[i] = time.Since(start)
+	}
+	return stats.Summarize(samples)
+}
+
+// LatencyReport measures per-query latency distributions for the best
+// paper-faithful engine of each family on a workload and writes a small
+// report, split by threshold so the k-dependence is visible.
+func LatencyReport(w io.Writer, wl Workload, engines []core.Searcher) {
+	fmt.Fprintf(w, "Per-query latency on the %s workload (%d strings)\n",
+		wl.Name, len(wl.Data))
+	for _, eng := range engines {
+		fmt.Fprintf(w, "  %s\n", eng.Name())
+		fmt.Fprintf(w, "    all queries: %s\n", MeasureLatencies(eng, wl.Queries))
+		for _, k := range wl.Ks {
+			var sub []core.Query
+			for _, q := range wl.Queries {
+				if q.K == k {
+					sub = append(sub, q)
+				}
+			}
+			if len(sub) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "    k=%-2d       : %s\n", k, MeasureLatencies(eng, sub))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package bktree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func scanRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].ID < a[j].ID })
+	sort.Slice(b, func(i, j int) bool { return b[i].ID < b[j].ID })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich"}
+	tr := Build(data)
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for _, k := range []int{0, 1, 2, 3} {
+		got := tr.Search("bern", k)
+		want := scanRef(data, "bern", k)
+		if !equalMatches(got, want) {
+			t.Errorf("k=%d: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if got := tr.Search("anything", 5); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if tr.Len() != 0 || tr.NodeCount() != 0 {
+		t.Error("empty tree has nonzero counts")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	tr := Build([]string{"ulm", "ulm", "bonn"})
+	got := tr.Search("ulm", 0)
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got))
+	}
+	if tr.NodeCount() != 2 {
+		t.Errorf("NodeCount = %d, want 2 (duplicates share a node)", tr.NodeCount())
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	tr := Build([]string{"a"})
+	if got := tr.Search("a", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickAgreesWithScan(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abcAC", 10)
+		}
+		tr := Build(data)
+		q := randomString(r, "abcAC", 10)
+		k := r.Intn(4)
+		return equalMatches(tr.Search(q, k), scanRef(data, q, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"simsearch/internal/dataset"
+	"simsearch/internal/scan"
+	"simsearch/internal/trie"
+)
+
+// Auto picks an engine for the dataset and an expected threshold — the
+// paper's conclusion turned into an executable planner, updated with this
+// reproduction's own measurements (EXPERIMENTS.md):
+//
+//   - Tiny datasets never amortize an index build: scan.
+//   - Long strings over a small alphabet with substantial thresholds (the
+//     DNA regime) favor the prefix tree with modern pruning — both in the
+//     paper and here.
+//   - Short variable-length strings with small thresholds (the city-name
+//     regime): the paper's own index loses to its scan, but the modern
+//     banded trie wins on this regime too, so the planner still picks the
+//     trie once the dataset is large enough to amortize the build.
+//
+// expectedK <= 0 defaults to 2. The returned engine is always exact; the
+// choice only affects speed.
+func Auto(data []string, expectedK int) Searcher {
+	if expectedK <= 0 {
+		expectedK = 2
+	}
+	info := dataset.Stats(data)
+	const buildAmortization = 4096
+	if info.Count < buildAmortization {
+		return NewSequential(data,
+			scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel(),
+			scan.WithSortByLength())
+	}
+	// Very permissive thresholds relative to the string length defeat every
+	// index's pruning (nearly everything matches); scanning with the banded
+	// kernel and length sorting is then the robust choice.
+	if float64(expectedK) > 0.5*info.AvgLen {
+		return NewSequential(data,
+			scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel(),
+			scan.WithSortByLength())
+	}
+	return NewTrie(data, true, trie.WithModernPruning())
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"simsearch/internal/lev"
+)
+
+// AutomatonScan is a sequential scan whose per-pair test is a lazy-DFA
+// Levenshtein automaton compiled once per query — the fuzzy-matching
+// construction mature search engines use. Against the DP-kernel scan it
+// trades per-pair arithmetic for per-query compilation plus memoized O(1)
+// byte steps, which pays off when many data strings share prefixes (the
+// automaton caches the transition work the DP kernel redoes).
+type AutomatonScan struct {
+	data []string
+}
+
+// NewAutomatonScan builds the engine over data.
+func NewAutomatonScan(data []string) *AutomatonScan {
+	return &AutomatonScan{data: data}
+}
+
+// Search implements Searcher.
+func (a *AutomatonScan) Search(q Query) []Match {
+	if q.K < 0 {
+		return nil
+	}
+	aut := lev.New(q.Text, q.K)
+	out := make([]Match, 0, 4)
+	for i, s := range a.data {
+		// Length filter first; the automaton would discover it anyway but
+		// the arithmetic check is cheaper.
+		d := len(s) - len(q.Text)
+		if d < 0 {
+			d = -d
+		}
+		if d > q.K {
+			continue
+		}
+		if dist, ok := aut.MatchDistance(s); ok {
+			out = append(out, Match{ID: int32(i), Dist: dist})
+		}
+	}
+	return out
+}
+
+// Name implements Searcher.
+func (a *AutomatonScan) Name() string { return "scan/automaton" }
+
+// Len implements Searcher.
+func (a *AutomatonScan) Len() int { return len(a.data) }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+
+	"simsearch/internal/trie"
+)
+
+// Dynamic is a mutable similarity index: strings can be added and removed
+// after construction, and searches run concurrently with updates under a
+// readers-writer lock. It wraps an uncompressed modern-pruning trie (path
+// compression is a static-tree optimization; an updatable tree keeps
+// single-byte edges).
+//
+// IDs are assigned by Add and never reused; Remove leaves a hole. Len counts
+// live strings.
+type Dynamic struct {
+	mu      sync.RWMutex
+	tree    *trie.Tree
+	strings []string // id -> string ("" + dead flag for removed)
+	dead    []bool
+	live    int
+}
+
+// NewDynamic returns an empty dynamic index.
+func NewDynamic() *Dynamic {
+	return &Dynamic{tree: trie.New(trie.WithModernPruning())}
+}
+
+// NewDynamicFrom seeds the index with data; string i gets ID i.
+func NewDynamicFrom(data []string) *Dynamic {
+	d := NewDynamic()
+	for _, s := range data {
+		d.Add(s)
+	}
+	return d
+}
+
+// Add inserts s and returns its ID.
+func (d *Dynamic) Add(s string) int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := int32(len(d.strings))
+	d.strings = append(d.strings, s)
+	d.dead = append(d.dead, false)
+	d.tree.Insert(s, id)
+	d.live++
+	return id
+}
+
+// Remove deletes the string with the given ID. It reports whether the ID was
+// live.
+func (d *Dynamic) Remove(id int32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.strings) || d.dead[id] {
+		return false
+	}
+	if !d.tree.Delete(d.strings[id], id) {
+		return false
+	}
+	d.dead[id] = true
+	d.live--
+	return true
+}
+
+// Value returns the string stored under id.
+func (d *Dynamic) Value(id int32) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || int(id) >= len(d.strings) || d.dead[id] {
+		return "", false
+	}
+	return d.strings[id], true
+}
+
+// Search implements Searcher.
+func (d *Dynamic) Search(q Query) []Match {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ms := d.tree.Search(q.Text, q.K)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{ID: m.ID, Dist: m.Dist}
+	}
+	return sortMatches(out)
+}
+
+// Name implements Searcher.
+func (d *Dynamic) Name() string { return "trie/dynamic" }
+
+// Len implements Searcher (live strings only).
+func (d *Dynamic) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.live
+}

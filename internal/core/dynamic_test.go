@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"simsearch/internal/edit"
+)
+
+func TestDynamicAddRemoveSearch(t *testing.T) {
+	d := NewDynamic()
+	if d.Len() != 0 || d.Name() != "trie/dynamic" {
+		t.Fatalf("fresh index: Len=%d Name=%q", d.Len(), d.Name())
+	}
+	berlin := d.Add("berlin")
+	bern := d.Add("bern")
+	d.Add("ulm")
+	if d.Len() != 3 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	ms := d.Search(Query{Text: "berlin", K: 2})
+	if len(ms) != 2 || ms[0].ID != berlin || ms[1].ID != bern {
+		t.Errorf("Search = %v", ms)
+	}
+	if !d.Remove(bern) {
+		t.Error("Remove failed")
+	}
+	if d.Remove(bern) {
+		t.Error("double Remove succeeded")
+	}
+	if d.Remove(-1) || d.Remove(99) {
+		t.Error("bogus ID removed")
+	}
+	ms = d.Search(Query{Text: "berlin", K: 2})
+	if len(ms) != 1 || ms[0].ID != berlin {
+		t.Errorf("after remove: %v", ms)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len after remove = %d", d.Len())
+	}
+	if v, ok := d.Value(berlin); !ok || v != "berlin" {
+		t.Errorf("Value = %q, %v", v, ok)
+	}
+	if _, ok := d.Value(bern); ok {
+		t.Error("Value of removed ID succeeded")
+	}
+}
+
+func TestDynamicFromSeedAgreesWithStatic(t *testing.T) {
+	data := testData
+	d := NewDynamicFrom(data)
+	static := NewTrie(data, true)
+	for _, q := range testQueries() {
+		if !Equal(d.Search(q), static.Search(q)) {
+			t.Errorf("dynamic diverges on %+v", q)
+		}
+	}
+}
+
+func TestDynamicMatchesBruteForceUnderChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	d := NewDynamic()
+	live := map[int32]string{}
+	var ids []int32
+	for step := 0; step < 400; step++ {
+		switch {
+		case len(ids) == 0 || r.Intn(3) > 0:
+			s := randomString(r, "abAB", 8)
+			id := d.Add(s)
+			live[id] = s
+			ids = append(ids, id)
+		default:
+			i := r.Intn(len(ids))
+			id := ids[i]
+			ids = append(ids[:i], ids[i+1:]...)
+			if _, ok := live[id]; !ok {
+				t.Fatal("test bookkeeping broken")
+			}
+			if !d.Remove(id) {
+				t.Fatalf("Remove(%d) failed", id)
+			}
+			delete(live, id)
+		}
+		if step%20 == 0 {
+			q := randomString(r, "abAB", 8)
+			k := r.Intn(3)
+			got := d.Search(Query{Text: q, K: k})
+			want := 0
+			for id, s := range live {
+				if edit.WithinK(q, s, k) {
+					want++
+					found := false
+					for _, m := range got {
+						if m.ID == id {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("live string %q (id %d) missing from search", s, id)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("step %d: %d matches, want %d", step, len(got), want)
+			}
+		}
+	}
+}
+
+func TestDynamicConcurrentUse(t *testing.T) {
+	d := NewDynamicFrom(testData)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				switch r.Intn(3) {
+				case 0:
+					d.Add(randomString(r, "ab", 6))
+				case 1:
+					d.Search(Query{Text: "berlin", K: 2})
+				default:
+					d.Len()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if d.Len() < len(testData) {
+		t.Errorf("Len shrank: %d", d.Len())
+	}
+}

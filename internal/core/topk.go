@@ -1,0 +1,61 @@
+package core
+
+import "sort"
+
+// TopK returns up to k of the closest dataset strings to text, ordered by
+// (distance, ID), considering only candidates within maxDist edits. It is
+// implemented by iterative deepening on the threshold: thresholds 0, 1, 2, …
+// are tried until enough matches accumulate, so the common case (a close
+// match exists) never pays for a permissive search. Engines whose search
+// cost grows with the threshold — all of the engines in this module — make
+// this strictly cheaper than a single maxDist search when matches are near.
+func TopK(s Searcher, text string, k, maxDist int) []Match {
+	if k <= 0 || maxDist < 0 {
+		return nil
+	}
+	if t, ok := s.(*Trie); ok {
+		// Trie engines support best-first search directly: subtrees are
+		// explored in lower-bound order and the search stops as soon as the
+		// k-th best distance beats every remaining bound.
+		ms := t.tree.NearestK(text, k, maxDist)
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{ID: m.ID, Dist: m.Dist}
+		}
+		return out
+	}
+	for dist := 0; ; dist++ {
+		// Grow the radius geometrically after the first misses so a far
+		// nearest neighbour doesn't cost maxDist searches.
+		radius := dist
+		if dist > 2 {
+			radius = 2 << (dist - 2)
+		}
+		if radius > maxDist {
+			radius = maxDist
+		}
+		ms := s.Search(Query{Text: text, K: radius})
+		if len(ms) >= k || radius == maxDist {
+			sort.Slice(ms, func(i, j int) bool {
+				if ms[i].Dist != ms[j].Dist {
+					return ms[i].Dist < ms[j].Dist
+				}
+				return ms[i].ID < ms[j].ID
+			})
+			if len(ms) > k {
+				ms = ms[:k]
+			}
+			return ms
+		}
+	}
+}
+
+// Nearest returns the single closest dataset string within maxDist edits,
+// or ok=false if none exists.
+func Nearest(s Searcher, text string, maxDist int) (Match, bool) {
+	ms := TopK(s, text, 1, maxDist)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func TestTopKBasic(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "berlik"}
+	eng := NewTrie(data, true)
+	ms := TopK(eng, "berlin", 3, 3)
+	if len(ms) != 3 {
+		t.Fatalf("got %d matches: %v", len(ms), ms)
+	}
+	if ms[0].ID != 0 || ms[0].Dist != 0 {
+		t.Errorf("best = %v, want berlin@0", ms[0])
+	}
+	if ms[1].Dist > ms[2].Dist {
+		t.Errorf("not sorted by distance: %v", ms)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	data := []string{"berlin", "tokyo"}
+	eng := NewTrie(data, true)
+	ms := TopK(eng, "berlin", 5, 1)
+	if len(ms) != 1 || ms[0].ID != 0 {
+		t.Errorf("got %v", ms)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	eng := NewTrie([]string{"x"}, true)
+	if got := TopK(eng, "x", 0, 3); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := TopK(eng, "x", 2, -1); got != nil {
+		t.Errorf("maxDist=-1 returned %v", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	data := []string{"berlin", "bern", "tokyo"}
+	eng := NewTrie(data, true)
+	m, ok := Nearest(eng, "berlni", 3)
+	if !ok || m.ID != 0 || m.Dist != 2 {
+		t.Errorf("got %v, %v", m, ok)
+	}
+	if _, ok := Nearest(eng, "zzzzzzzzzzzz", 2); ok {
+		t.Error("found a neighbour that cannot exist")
+	}
+}
+
+// refTopK computes the expected result by full enumeration.
+func refTopK(data []string, text string, k, maxDist int) []Match {
+	var all []Match
+	for i, s := range data {
+		if d := edit.Distance(text, s); d <= maxDist {
+			all = append(all, Match{ID: int32(i), Dist: d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestQuickTopKMatchesReference(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abAB", 8)
+		}
+		eng := NewTrie(data, true)
+		text := randomString(r, "abAB", 8)
+		k := 1 + r.Intn(5)
+		maxDist := r.Intn(6)
+		got := TopK(eng, text, k, maxDist)
+		want := refTopK(data, text, k, maxDist)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

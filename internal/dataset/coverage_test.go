@@ -1,0 +1,26 @@
+package dataset
+
+import "testing"
+
+// TestCitiesByteCoverage pins the "ca. 255 symbols" dataset property: at
+// gazetteer scale, every UTF-8 continuation byte and every valid lead byte
+// occurs somewhere in the corpus.
+func TestCitiesByteCoverage(t *testing.T) {
+	data := Cities(20000, 1)
+	var seen [256]bool
+	for _, s := range data {
+		for j := 0; j < len(s); j++ {
+			seen[s[j]] = true
+		}
+	}
+	for b := 0x80; b <= 0xBF; b++ {
+		if !seen[b] {
+			t.Errorf("continuation byte %#x never occurs", b)
+		}
+	}
+	for b := 0xC2; b <= 0xF4; b++ {
+		if !seen[b] {
+			t.Errorf("lead byte %#x never occurs", b)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package dataset
+
+// FASTA/FASTQ readers. Real genome reads arrive in these formats, so a
+// library positioned for the paper's DNA use case has to ingest them; the
+// synthetic generator then only covers the no-data case.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses FASTA records: a '>' header line followed by one or more
+// sequence lines (which are concatenated). Sequences are upper-cased;
+// blank lines are ignored. Returns the sequences in file order.
+func ReadFASTA(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []string
+	var cur strings.Builder
+	inRecord := false
+	flush := func() {
+		if inRecord {
+			out = append(out, strings.ToUpper(cur.String()))
+			cur.Reset()
+		}
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case text[0] == '>':
+			flush()
+			inRecord = true
+		case text[0] == ';': // comment lines (legacy FASTA)
+			continue
+		default:
+			if !inRecord {
+				return nil, fmt.Errorf("dataset: FASTA line %d: sequence before any '>' header", line)
+			}
+			cur.WriteString(text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+// ReadFASTQ parses FASTQ records: four lines per read ('@' header, sequence,
+// '+' separator, quality). Quality strings are validated for length and
+// discarded. Multi-line sequences are not supported (per the de-facto
+// standard for short reads).
+func ReadFASTQ(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []string
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimRight(sc.Text(), "\r")
+			return t, true
+		}
+		return "", false
+	}
+	for {
+		header, ok := next()
+		if !ok {
+			break
+		}
+		if strings.TrimSpace(header) == "" {
+			continue
+		}
+		if header[0] != '@' {
+			return nil, fmt.Errorf("dataset: FASTQ line %d: expected '@' header, got %q", line, header)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("dataset: FASTQ line %d: truncated record (no sequence)", line)
+		}
+		sep, ok := next()
+		if !ok || len(sep) == 0 || sep[0] != '+' {
+			return nil, fmt.Errorf("dataset: FASTQ line %d: expected '+' separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("dataset: FASTQ line %d: truncated record (no quality)", line)
+		}
+		if len(qual) != len(seq) {
+			return nil, fmt.Errorf("dataset: FASTQ line %d: quality length %d != sequence length %d",
+				line, len(qual), len(seq))
+		}
+		out = append(out, strings.ToUpper(seq))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadSequences reads a file of DNA reads, dispatching on extension:
+// .fasta/.fa, .fastq/.fq, else one sequence per line.
+func LoadSequences(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".fasta"), strings.HasSuffix(path, ".fa"):
+		return ReadFASTA(f)
+	case strings.HasSuffix(path, ".fastq"), strings.HasSuffix(path, ".fq"):
+		return ReadFASTQ(f)
+	default:
+		return Load(path)
+	}
+}
+
+// WriteFASTA writes sequences as FASTA with synthetic headers and 70-column
+// wrapping.
+func WriteFASTA(w io.Writer, sequences []string) error {
+	bw := bufio.NewWriter(w)
+	for i, s := range sequences {
+		if _, err := fmt.Fprintf(bw, ">seq%d\n", i); err != nil {
+			return err
+		}
+		for off := 0; off < len(s); off += 70 {
+			end := off + 70
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := bw.WriteString(s[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		if len(s) == 0 {
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := `>read1 description here
+ACGT
+ACGT
+; a legacy comment
+>read2
+
+ttnn
+`
+	got, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ACGTACGT", "TTNN"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+	got, err := ReadFASTA(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestReadFASTQ(t *testing.T) {
+	in := `@read1
+ACGTACGT
++
+IIIIIIII
+@read2
+ttgg
++read2
+!!!!
+`
+	got, err := ReadFASTQ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ACGTACGT", "TTGG"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestReadFASTQErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\nACGT\n+\nIIII\n", // missing @
+		"@r\nACGT\n",            // truncated
+		"@r\nACGT\nX\nIIII\n",   // bad separator
+		"@r\nACGT\n+\nIII\n",    // quality length mismatch
+	}
+	for _, c := range cases {
+		if _, err := ReadFASTQ(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestWriteFASTARoundTrip(t *testing.T) {
+	seqs := []string{
+		strings.Repeat("ACGT", 40), // 160 chars -> wrapped
+		"TT",
+		"",
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, seqs) {
+		t.Errorf("round trip: %q != %q", got, seqs)
+	}
+}
+
+func TestLoadSequencesDispatch(t *testing.T) {
+	dir := t.TempDir()
+
+	fa := filepath.Join(dir, "reads.fasta")
+	if err := os.WriteFile(fa, []byte(">a\nACGT\n>b\nTT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSequences(fa)
+	if err != nil || !reflect.DeepEqual(got, []string{"ACGT", "TT"}) {
+		t.Errorf("fasta: %q, %v", got, err)
+	}
+
+	fq := filepath.Join(dir, "reads.fq")
+	if err := os.WriteFile(fq, []byte("@a\nACGT\n+\nIIII\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadSequences(fq)
+	if err != nil || !reflect.DeepEqual(got, []string{"ACGT"}) {
+		t.Errorf("fastq: %q, %v", got, err)
+	}
+
+	txt := filepath.Join(dir, "reads.txt")
+	if err := os.WriteFile(txt, []byte("ACGT\nTT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadSequences(txt)
+	if err != nil || !reflect.DeepEqual(got, []string{"ACGT", "TT"}) {
+		t.Errorf("plain: %q, %v", got, err)
+	}
+
+	if _, err := LoadSequences(filepath.Join(dir, "missing.fa")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package edit
+
+import "fmt"
+
+// Alignment extraction: the paper's §2.2 worked example transforms "AGGCGT"
+// into "AGAGT" with two operations. Ops reconstructs such an operation
+// sequence from the DP matrix, which the examples and tests use to make the
+// distance tangible.
+
+// OpKind enumerates the three unit-cost edit operations of the unweighted
+// edit distance, plus the zero-cost match.
+type OpKind uint8
+
+const (
+	// OpMatch consumes one equal symbol from both strings at no cost.
+	OpMatch OpKind = iota
+	// OpReplace substitutes one symbol of the source by one of the target.
+	OpReplace
+	// OpInsert inserts one target symbol into the source.
+	OpInsert
+	// OpDelete deletes one source symbol.
+	OpDelete
+)
+
+// String returns the conventional name of the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpMatch:
+		return "match"
+	case OpReplace:
+		return "replace"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one step of an edit script transforming a source string into a
+// target string. Src and Dst are the byte positions in the source and target
+// *before* the operation is applied.
+type Op struct {
+	Kind OpKind
+	Src  int  // position in the source string
+	Dst  int  // position in the target string
+	From byte // source symbol (match, replace, delete)
+	To   byte // target symbol (match, replace, insert)
+}
+
+// String renders the operation in a compact human-readable form.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpMatch:
+		return fmt.Sprintf("match %q@%d", o.From, o.Src)
+	case OpReplace:
+		return fmt.Sprintf("replace %q@%d -> %q", o.From, o.Src, o.To)
+	case OpInsert:
+		return fmt.Sprintf("insert %q@%d", o.To, o.Src)
+	case OpDelete:
+		return fmt.Sprintf("delete %q@%d", o.From, o.Src)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Ops returns a minimal edit script transforming a into b. The number of
+// non-match operations equals Distance(a, b). The script is ordered from the
+// start of the strings to the end.
+func Ops(a, b string) []Op {
+	m := Matrix(a, b)
+	// Trace back from m[len(a)][len(b)] to m[0][0].
+	var rev []Op
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && m[i][j] == m[i-1][j-1]:
+			rev = append(rev, Op{Kind: OpMatch, Src: i - 1, Dst: j - 1, From: a[i-1], To: b[j-1]})
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && m[i][j] == m[i-1][j-1]+1:
+			rev = append(rev, Op{Kind: OpReplace, Src: i - 1, Dst: j - 1, From: a[i-1], To: b[j-1]})
+			i, j = i-1, j-1
+		case j > 0 && m[i][j] == m[i][j-1]+1:
+			rev = append(rev, Op{Kind: OpInsert, Src: i, Dst: j - 1, To: b[j-1]})
+			j--
+		default: // i > 0 && m[i][j] == m[i-1][j]+1
+			rev = append(rev, Op{Kind: OpDelete, Src: i - 1, Dst: j, From: a[i-1]})
+			i--
+		}
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Apply executes an edit script produced by Ops(a, b) on a and returns the
+// resulting string. Applying Ops(a, b) to a always yields b.
+func Apply(a string, ops []Op) string {
+	out := make([]byte, 0, len(a))
+	for _, op := range ops {
+		switch op.Kind {
+		case OpMatch, OpReplace, OpInsert:
+			out = append(out, op.To)
+		}
+	}
+	return string(out)
+}
+
+// Cost returns the total cost of an edit script: the number of non-match
+// operations.
+func Cost(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		if op.Kind != OpMatch {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpsPaperExample(t *testing.T) {
+	ops := Ops("AGGCGT", "AGAGT")
+	if got := Cost(ops); got != 2 {
+		t.Errorf("Cost = %d, want 2", got)
+	}
+	if got := Apply("AGGCGT", ops); got != "AGAGT" {
+		t.Errorf("Apply = %q, want AGAGT", got)
+	}
+}
+
+func TestOpsEmptyCases(t *testing.T) {
+	if ops := Ops("", ""); len(ops) != 0 {
+		t.Errorf("Ops(empty, empty) has %d ops, want 0", len(ops))
+	}
+	ops := Ops("", "abc")
+	if Cost(ops) != 3 || Apply("", ops) != "abc" {
+		t.Errorf("Ops(empty, abc): cost %d apply %q", Cost(ops), Apply("", ops))
+	}
+	ops = Ops("abc", "")
+	if Cost(ops) != 3 || Apply("abc", ops) != "" {
+		t.Errorf("Ops(abc, empty): cost %d apply %q", Cost(ops), Apply("abc", ops))
+	}
+}
+
+func TestOpsKindsAndPositions(t *testing.T) {
+	ops := Ops("abc", "abc")
+	for _, op := range ops {
+		if op.Kind != OpMatch {
+			t.Errorf("identical strings produced %v", op)
+		}
+	}
+	// Single replacement.
+	ops = Ops("cat", "cut")
+	if Cost(ops) != 1 {
+		t.Fatalf("cost = %d, want 1", Cost(ops))
+	}
+	var rep *Op
+	for i := range ops {
+		if ops[i].Kind == OpReplace {
+			rep = &ops[i]
+		}
+	}
+	if rep == nil || rep.From != 'a' || rep.To != 'u' || rep.Src != 1 {
+		t.Errorf("replace op = %+v, want replace a@1 -> u", rep)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpMatch: "match", OpReplace: "replace", OpInsert: "insert", OpDelete: "delete",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind must render non-empty")
+	}
+}
+
+func TestQuickOpsRoundTrip(t *testing.T) {
+	// Property: Apply(a, Ops(a,b)) == b and Cost(Ops(a,b)) == Distance(a,b).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abcde", 20)
+		b := randomString(r, "abcde", 20)
+		ops := Ops(a, b)
+		return Apply(a, ops) == b && Cost(ops) == Distance(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

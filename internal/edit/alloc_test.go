@@ -1,0 +1,53 @@
+package edit
+
+import "testing"
+
+// Allocation regression guards for the paper's §3.4 claim ("simple data
+// types", flat reusable buffers): after warm-up, the scratch kernels must
+// not allocate per comparison.
+
+func TestScratchKernelsZeroAlloc(t *testing.T) {
+	a := "magdeburgerstrasse"
+	b := "magdeburgstrasse"
+	var s Scratch
+	s.BoundedDistance(a, b, 3) // warm up the buffers
+	if n := testing.AllocsPerRun(200, func() {
+		s.BoundedDistance(a, b, 3)
+	}); n != 0 {
+		t.Errorf("Scratch.BoundedDistance allocates %.1f per call, want 0", n)
+	}
+	s.PaperBoundedDistance(a, b, 3)
+	if n := testing.AllocsPerRun(200, func() {
+		s.PaperBoundedDistance(a, b, 3)
+	}); n != 0 {
+		t.Errorf("Scratch.PaperBoundedDistance allocates %.1f per call, want 0", n)
+	}
+}
+
+func TestStepRowZeroAllocWithBuffer(t *testing.T) {
+	q := "berlin"
+	row := InitialRow(q)
+	buf := make([]int, len(q)+1)
+	if n := testing.AllocsPerRun(200, func() {
+		StepRow(q, row, 'x', buf)
+	}); n != 0 {
+		t.Errorf("StepRow with buffer allocates %.1f per call, want 0", n)
+	}
+	band := InitialBandRow(q, 2, nil)
+	buf2 := make([]int, len(q)+1)
+	if n := testing.AllocsPerRun(200, func() {
+		StepBandRow(q, band, 'x', 1, 2, buf2)
+	}); n != 0 {
+		t.Errorf("StepBandRow with buffer allocates %.1f per call, want 0", n)
+	}
+}
+
+func TestMyers64ZeroAlloc(t *testing.T) {
+	a := "berlin"
+	b := "bern"
+	if n := testing.AllocsPerRun(200, func() {
+		myers64(a, b)
+	}); n != 0 {
+		t.Errorf("myers64 allocates %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,118 @@
+package edit
+
+// Banded incremental rows for threshold-k prefix-tree descent.
+//
+// A DP cell (i, j) satisfies M[i][j] >= |i-j|, so when only results within
+// threshold k matter, cells with |i-j| > k can be treated as "above k"
+// without ever computing them. The banded row stepper maintains exactly the
+// 2k+1 in-band cells per tree level and clamps every value at k+1, which
+// keeps trie descent O(k) per node instead of O(len(q)).
+//
+// Soundness: DP values along an optimal alignment path never decrease, so a
+// final value <= k implies every cell on its path is <= k and therefore
+// in-band; pruning when all in-band cells of the current row exceed k can
+// never lose a match. These invariants are property-tested against the
+// full-row stepper.
+
+// InitialBandRow fills dst (reused when capacity suffices) with the row for
+// the empty prefix, clamped at k+1: row[j] = min(j, k+1).
+func InitialBandRow(query string, k int, dst []int) []int {
+	n := len(query) + 1
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for j := 0; j < n; j++ {
+		if j <= k {
+			dst[j] = j
+		} else {
+			dst[j] = k + 1
+		}
+	}
+	return dst
+}
+
+// StepBandRow extends prev — the banded row for a prefix of length depth-1 —
+// to the banded row for the prefix extended by c (length depth). It returns
+// the new row (written into dst, reallocated if needed) and the minimum
+// in-band value, which lower-bounds the edit distance between the query and
+// every string extending the new prefix. A returned min > k means the whole
+// subtree can be pruned.
+//
+// prev is not modified, so sibling branches can step from the same parent
+// row. All values are clamped at k+1.
+func StepBandRow(query string, prev []int, c byte, depth, k int, dst []int) ([]int, int) {
+	n := len(query) + 1
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	cap1 := k + 1
+	i := depth
+	lo := i - k
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + k
+	if hi > len(query) {
+		hi = len(query)
+	}
+	if lo > hi {
+		return dst, cap1
+	}
+	minV := cap1
+	for j := lo; j <= hi; j++ {
+		var v int
+		if j == 0 {
+			v = i
+		} else if query[j-1] == c {
+			v = prev[j-1]
+		} else {
+			// prev[j] is in prev's band iff j <= (i-1)+k, i.e. j < i+k.
+			up := cap1
+			if j < i+k {
+				up = prev[j]
+			}
+			// dst[j-1] is in this row's band iff j-1 >= lo.
+			left := cap1
+			if j > lo {
+				left = dst[j-1]
+			}
+			v = prev[j-1]
+			if up < v {
+				v = up
+			}
+			if left < v {
+				v = left
+			}
+			v++
+		}
+		if v > cap1 {
+			v = cap1
+		}
+		dst[j] = v
+		if v < minV {
+			minV = v
+		}
+	}
+	return dst, minV
+}
+
+// BandRowDistance extracts the distance between the row's prefix (as a full
+// string) and the query from a banded row for a prefix of length depth. The
+// second result is false when the cell is out of band, i.e. the distance
+// provably exceeds k.
+func BandRowDistance(row []int, depth, queryLen, k int) (int, bool) {
+	d := depth - queryLen
+	if d < 0 {
+		d = -d
+	}
+	if d > k {
+		return 0, false
+	}
+	v := row[queryLen]
+	if v > k {
+		return v, false
+	}
+	return v, true
+}

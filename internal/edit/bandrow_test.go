@@ -1,0 +1,118 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialBandRow(t *testing.T) {
+	row := InitialBandRow("abcdef", 2, nil)
+	want := []int{0, 1, 2, 3, 3, 3, 3} // clamped at k+1 = 3
+	if len(row) != len(want) {
+		t.Fatalf("len = %d", len(row))
+	}
+	for j := range want {
+		if row[j] != want[j] {
+			t.Errorf("row[%d] = %d, want %d", j, row[j], want[j])
+		}
+	}
+}
+
+// TestBandRowMatchesFullRow checks that in-band cells agree with the full
+// stepper and out-of-band behavior is clamped, over random descents.
+func TestBandRowMatchesFullRow(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		q := randomString(r, "abAC", 14)
+		prefix := randomString(r, "abAC", 14)
+		k := r.Intn(5)
+		full := InitialRow(q)
+		band := InitialBandRow(q, k, nil)
+		for i := 0; i < len(prefix); i++ {
+			full = StepRow(q, full, prefix[i], nil)
+			var minV int
+			band, minV = StepBandRow(q, band, prefix[i], i+1, k, nil)
+			// In-band agreement (when the true value is within k).
+			lo, hi := i+1-k, i+1+k
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(q) {
+				hi = len(q)
+			}
+			trueMin := len(q) + len(prefix) + 1
+			for j := lo; j <= hi; j++ {
+				if full[j] <= k {
+					if band[j] != full[j] {
+						t.Fatalf("band[%d] = %d, full = %d (q=%q prefix=%q k=%d)",
+							j, band[j], full[j], q, prefix[:i+1], k)
+					}
+				} else if band[j] <= k {
+					t.Fatalf("band[%d] = %d below k but full = %d", j, band[j], full[j])
+				}
+			}
+			for j := 0; j <= len(q); j++ {
+				if full[j] < trueMin {
+					trueMin = full[j]
+				}
+			}
+			// minV > k must imply the true row min exceeds k (soundness of
+			// the prune).
+			if minV > k && trueMin <= k {
+				t.Fatalf("band prune unsound: minV=%d trueMin=%d (q=%q prefix=%q k=%d)",
+					minV, trueMin, q, prefix[:i+1], k)
+			}
+		}
+		// Terminal distance must agree with the real distance when within k.
+		trueDist := Distance(prefix, q)
+		got, ok := BandRowDistance(band, len(prefix), len(q), k)
+		if trueDist <= k {
+			if !ok || got != trueDist {
+				t.Fatalf("BandRowDistance = %d,%v; want %d,true (q=%q prefix=%q k=%d)",
+					got, ok, trueDist, q, prefix, k)
+			}
+		} else if ok {
+			t.Fatalf("BandRowDistance accepted distance %d > k=%d", trueDist, k)
+		}
+	}
+}
+
+func TestStepBandRowEmptyBand(t *testing.T) {
+	q := "ab"
+	row := InitialBandRow(q, 1, nil)
+	var minV int
+	for depth := 1; depth <= 5; depth++ {
+		row, minV = StepBandRow(q, row, 'x', depth, 1, nil)
+	}
+	// depth 5, len(q) 2, k 1: band empty, min must exceed k.
+	if minV <= 1 {
+		t.Errorf("minV = %d, want > 1", minV)
+	}
+}
+
+func TestQuickBandRowSiblingIndependence(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomString(r, "abc", 10)
+		k := 1 + r.Intn(3)
+		parent := InitialBandRow(q, k, nil)
+		parent, _ = StepBandRow(q, parent, 'a', 1, k, nil)
+		c1, _ := StepBandRow(q, parent, 'b', 2, k, nil)
+		c2, _ := StepBandRow(q, parent, 'c', 2, k, nil)
+		d1, ok1 := BandRowDistance(c1, 2, len(q), k)
+		d2, ok2 := BandRowDistance(c2, 2, len(q), k)
+		t1 := Distance("ab", q)
+		t2 := Distance("ac", q)
+		if t1 <= k && (!ok1 || d1 != t1) {
+			return false
+		}
+		if t2 <= k && (!ok2 || d2 != t2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package edit
+
+import "testing"
+
+// Fuzz targets: run as plain unit tests over the seed corpus during
+// `go test`, and explore further under `go test -fuzz=Fuzz...`.
+
+func FuzzKernelsAgree(f *testing.F) {
+	f.Add("AGGCGT", "AGAGT", uint8(2))
+	f.Add("", "", uint8(0))
+	f.Add("kitten", "sitting", uint8(3))
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "a", uint8(16))
+	f.Fuzz(func(t *testing.T, a, b string, kRaw uint8) {
+		if len(a) > 256 || len(b) > 256 {
+			return
+		}
+		k := int(kRaw % 24)
+		want := Distance(a, b)
+		if got := DistanceFullMatrix(a, b); got != want {
+			t.Fatalf("full matrix %d != two-row %d", got, want)
+		}
+		if got := MyersDistance(a, b); got != want {
+			t.Fatalf("myers %d != %d for %q/%q", got, want, a, b)
+		}
+		d, ok := BoundedDistance(a, b, k)
+		pd, pok := PaperBoundedDistance(a, b, k)
+		if ok != (want <= k) {
+			t.Fatalf("banded ok=%v but distance %d, k %d", ok, want, k)
+		}
+		if ok && d != want {
+			t.Fatalf("banded %d != %d", d, want)
+		}
+		if pok != ok || (ok && pd != d) {
+			t.Fatalf("paper kernel (%d,%v) != banded (%d,%v)", pd, pok, d, ok)
+		}
+	})
+}
+
+func FuzzOpsRoundTrip(f *testing.F) {
+	f.Add("AGGCGT", "AGAGT")
+	f.Add("", "abc")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 128 || len(b) > 128 {
+			return
+		}
+		ops := Ops(a, b)
+		if got := Apply(a, ops); got != b {
+			t.Fatalf("Apply(%q, Ops) = %q, want %q", a, got, b)
+		}
+		if Cost(ops) != Distance(a, b) {
+			t.Fatalf("Cost %d != Distance %d", Cost(ops), Distance(a, b))
+		}
+	})
+}

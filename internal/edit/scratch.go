@@ -1,0 +1,122 @@
+package edit
+
+// Scratch holds reusable DP row buffers so repeated bounded-distance calls
+// allocate nothing. This realizes the paper's §3.4 "simple data types and
+// program methods" step: flat integer arrays reused across candidates rather
+// than containers allocated per comparison.
+//
+// A Scratch is not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	prev, curr []int
+}
+
+// BoundedDistance behaves exactly like the package-level BoundedDistance but
+// reuses the scratch buffers.
+func (s *Scratch) BoundedDistance(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	la, lb := len(a), len(b)
+	d := la - lb
+	if d < 0 {
+		d = -d
+	}
+	if d > k {
+		return 0, false
+	}
+	if k == 0 {
+		if a == b {
+			return 0, true
+		}
+		return 0, false
+	}
+	if la == 0 {
+		return lb, true // lb <= k holds: lb = d <= k
+	}
+	if lb == 0 {
+		return la, true
+	}
+	if lb > la {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if cap(s.prev) < lb+1 {
+		s.prev = make([]int, lb+1)
+		s.curr = make([]int, lb+1)
+	}
+	prev := s.prev[:lb+1]
+	curr := s.curr[:lb+1]
+
+	const inf = int(^uint(0) >> 2)
+	for j := 0; j <= lb && j <= k; j++ {
+		prev[j] = j
+	}
+	for j := k + 1; j <= lb; j++ {
+		prev[j] = inf
+	}
+	delta := la - lb
+	for i := 1; i <= la; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > lb {
+			hi = lb
+		}
+		if lo > hi {
+			return 0, false
+		}
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			curr[0] = i
+		}
+		ca := a[i-1]
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			var v int
+			if ca == b[j-1] {
+				v = prev[j-1]
+			} else {
+				up := inf
+				if j < i+k {
+					up = prev[j]
+				}
+				left := inf
+				if j > lo {
+					left = curr[j-1]
+				} else if lo == 1 {
+					left = curr[0]
+				}
+				v = 1 + min3(up, left, prev[j-1])
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+			if j == i-delta && v > k {
+				return 0, false
+			}
+		}
+		if hi < lb {
+			curr[hi+1] = inf
+		}
+		if rowMin > k {
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	// Keep the swapped buffers for reuse.
+	s.prev, s.curr = prev, curr
+	if prev[lb] > k {
+		return 0, false
+	}
+	return prev[lb], true
+}
+
+// WithinK reports whether ed(a, b) <= k using the scratch buffers.
+func (s *Scratch) WithinK(a, b string, k int) bool {
+	d, ok := s.BoundedDistance(a, b, k)
+	return ok && d <= k
+}

@@ -1,0 +1,165 @@
+package edit
+
+// Semi-global (substring) alignment: the best edit distance between a
+// pattern and ANY substring of a text. This is the read-mapping flavour of
+// the paper's DNA use case — locating a probe inside a genome rather than
+// comparing whole reads — and the classic approximate string matching
+// problem (Sellers 1980).
+//
+// The DP differs from the global distance only in the boundary: row 0 is all
+// zeros (a match may start anywhere in the text), and the answer is read
+// from the full last row (a match may end anywhere).
+
+// SubstringDistance returns min over substrings s of text of
+// ed(pattern, s). An empty pattern matches the empty substring (distance 0).
+func SubstringDistance(pattern, text string) int {
+	d, _ := substringSearch(pattern, text, len(pattern))
+	return d
+}
+
+// Occurrence is one approximate match of a pattern inside a text.
+type Occurrence struct {
+	// End is the byte offset just past the matched substring.
+	End int
+	// Dist is the edit distance of the best match ending at End.
+	Dist int
+}
+
+// FindApprox returns every text position where some substring ending there
+// is within k edits of the pattern, reporting the best distance per end
+// position. Runs of adjacent positions belonging to the same underlying
+// match are NOT merged — callers that need match extents can trace back or
+// post-process, and tests rely on the raw per-position semantics.
+func FindApprox(pattern, text string, k int) []Occurrence {
+	if k < 0 {
+		return nil
+	}
+	var out []Occurrence
+	if len(pattern) == 0 {
+		// The empty pattern matches (distance 0) at every position.
+		for j := 0; j <= len(text); j++ {
+			out = append(out, Occurrence{End: j, Dist: 0})
+		}
+		return out
+	}
+	m := len(pattern)
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		prev[i] = i // column 0: deleting the whole pattern prefix
+	}
+	if prev[m] <= k {
+		out = append(out, Occurrence{End: 0, Dist: prev[m]})
+	}
+	for j := 1; j <= len(text); j++ {
+		curr[0] = 0 // free start anywhere in the text
+		c := text[j-1]
+		for i := 1; i <= m; i++ {
+			if pattern[i-1] == c {
+				curr[i] = prev[i-1]
+			} else {
+				v := prev[i]
+				if curr[i-1] < v {
+					v = curr[i-1]
+				}
+				if prev[i-1] < v {
+					v = prev[i-1]
+				}
+				curr[i] = v + 1
+			}
+		}
+		if curr[m] <= k {
+			out = append(out, Occurrence{End: j, Dist: curr[m]})
+		}
+		prev, curr = curr, prev
+	}
+	return out
+}
+
+// substringSearch computes the minimal semi-global distance (bounded by
+// kCap only for the early answer; the full scan always completes).
+func substringSearch(pattern, text string, kCap int) (int, bool) {
+	if len(pattern) == 0 {
+		return 0, true
+	}
+	m := len(pattern)
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		prev[i] = i
+	}
+	best := prev[m]
+	for j := 1; j <= len(text); j++ {
+		curr[0] = 0
+		c := text[j-1]
+		for i := 1; i <= m; i++ {
+			if pattern[i-1] == c {
+				curr[i] = prev[i-1]
+			} else {
+				v := prev[i]
+				if curr[i-1] < v {
+					v = curr[i-1]
+				}
+				if prev[i-1] < v {
+					v = prev[i-1]
+				}
+				curr[i] = v + 1
+			}
+		}
+		if curr[m] < best {
+			best = curr[m]
+			if best == 0 {
+				return 0, true
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return best, best <= kCap
+}
+
+// ContainsApprox reports whether text contains a substring within k edits of
+// pattern, scanning with Myers-style early exit via FindApprox semantics but
+// returning at the first hit.
+func ContainsApprox(pattern, text string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	if len(pattern) == 0 {
+		return true
+	}
+	if len(pattern) > len(text)+k {
+		return false // even deleting everything cannot bridge the gap
+	}
+	m := len(pattern)
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		prev[i] = i
+	}
+	if prev[m] <= k {
+		return true
+	}
+	for j := 1; j <= len(text); j++ {
+		curr[0] = 0
+		c := text[j-1]
+		for i := 1; i <= m; i++ {
+			if pattern[i-1] == c {
+				curr[i] = prev[i-1]
+			} else {
+				v := prev[i]
+				if curr[i-1] < v {
+					v = curr[i-1]
+				}
+				if prev[i-1] < v {
+					v = prev[i-1]
+				}
+				curr[i] = v + 1
+			}
+		}
+		if curr[m] <= k {
+			return true
+		}
+		prev, curr = curr, prev
+	}
+	return false
+}

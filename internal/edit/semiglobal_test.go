@@ -1,0 +1,139 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refSubstringDistance enumerates all substrings.
+func refSubstringDistance(pattern, text string) int {
+	best := len(pattern) // the empty substring
+	for i := 0; i <= len(text); i++ {
+		for j := i; j <= len(text); j++ {
+			if d := Distance(pattern, text[i:j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestSubstringDistanceBasic(t *testing.T) {
+	cases := []struct {
+		pattern, text string
+		want          int
+	}{
+		{"abc", "xxabcxx", 0},
+		{"abc", "xxabxcx", 1},
+		{"abc", "", 3},
+		{"", "anything", 0},
+		{"kitten", "the sitting cat", 2},
+		{"ACGT", "TTTTACGTTTT", 0},
+		{"ACGT", "TTTTACTTTT", 1},
+	}
+	for _, c := range cases {
+		want := refSubstringDistance(c.pattern, c.text)
+		if got := SubstringDistance(c.pattern, c.text); got != want {
+			t.Errorf("SubstringDistance(%q, %q) = %d, want %d", c.pattern, c.text, got, want)
+		}
+	}
+}
+
+func TestFindApproxPositions(t *testing.T) {
+	occ := FindApprox("abc", "abcxabc", 0)
+	// Exact occurrences end at 3 and 7.
+	if len(occ) != 2 || occ[0].End != 3 || occ[1].End != 7 {
+		t.Errorf("occ = %v", occ)
+	}
+	for _, o := range occ {
+		if o.Dist != 0 {
+			t.Errorf("dist = %d", o.Dist)
+		}
+	}
+	if got := FindApprox("abc", "xyz", 0); got != nil {
+		t.Errorf("no-match case: %v", got)
+	}
+	if got := FindApprox("a", "a", -1); got != nil {
+		t.Errorf("k=-1: %v", got)
+	}
+}
+
+func TestFindApproxEmptyPattern(t *testing.T) {
+	occ := FindApprox("", "ab", 0)
+	if len(occ) != 3 {
+		t.Errorf("empty pattern: %v", occ)
+	}
+}
+
+func TestContainsApprox(t *testing.T) {
+	if !ContainsApprox("ACGT", "TTACGTTT", 0) {
+		t.Error("exact containment missed")
+	}
+	if !ContainsApprox("ACGT", "TTACTTT", 1) {
+		t.Error("1-edit containment missed")
+	}
+	if ContainsApprox("ACGT", "TTTTTTT", 1) {
+		t.Error("false containment")
+	}
+	if !ContainsApprox("", "x", 0) {
+		t.Error("empty pattern must be contained")
+	}
+	if ContainsApprox("abc", "a", -1) {
+		t.Error("negative k accepted")
+	}
+	if ContainsApprox("abcdefgh", "x", 2) {
+		t.Error("hopeless length gap accepted")
+	}
+}
+
+func TestQuickSubstringAgainstEnumeration(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pattern := randomString(r, "ab", 6)
+		text := randomString(r, "ab", 14)
+		want := refSubstringDistance(pattern, text)
+		if SubstringDistance(pattern, text) != want {
+			return false
+		}
+		k := r.Intn(4)
+		if ContainsApprox(pattern, text, k) != (want <= k) {
+			return false
+		}
+		// FindApprox completeness: some occurrence exists iff want <= k.
+		occ := FindApprox(pattern, text, k)
+		if (len(occ) > 0) != (want <= k) {
+			return false
+		}
+		// Every reported occurrence is genuine: min distance over substrings
+		// ending at End equals Dist.
+		for _, o := range occ {
+			best := len(pattern)
+			for i := 0; i <= o.End; i++ {
+				if d := Distance(pattern, text[i:o.End]); d < best {
+					best = d
+				}
+			}
+			if best != o.Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstringLowerBound(t *testing.T) {
+	// Substring distance never exceeds the global distance.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abc", 10)
+		b := randomString(r, "abc", 10)
+		return SubstringDistance(a, b) <= Distance(a, b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package edit
+
+// Normalized similarity helpers. Thresholded edit distance (the paper's
+// formulation) and normalized similarity (common in record-linkage APIs)
+// are interchangeable through these conversions.
+
+// Similarity returns 1 - ed(a, b)/max(len(a), len(b)) in [0, 1]; identical
+// strings score 1, and two empty strings are defined to score 1.
+func Similarity(a, b string) float64 {
+	la, lb := len(a), len(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Distance(a, b))/float64(m)
+}
+
+// ThresholdFor converts a minimum normalized similarity into the largest
+// edit-distance threshold k that can still satisfy it for strings up to
+// maxLen bytes: sim >= s requires ed <= (1-s)*maxLen.
+func ThresholdFor(minSim float64, maxLen int) int {
+	if minSim <= 0 {
+		return maxLen
+	}
+	if minSim >= 1 {
+		return 0
+	}
+	// The epsilon absorbs float artifacts like (1-0.8)*10 = 1.999... so the
+	// intended threshold is not truncated away.
+	return int((1-minSim)*float64(maxLen) + 1e-9)
+}
+
+// SimilarAtLeast reports whether Similarity(a, b) >= minSim, using the
+// bounded distance so dissimilar pairs exit early.
+func SimilarAtLeast(a, b string, minSim float64) bool {
+	la, lb := len(a), len(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return true
+	}
+	k := int((1 - minSim) * float64(m))
+	d, ok := BoundedDistance(a, b, k)
+	if !ok {
+		return false
+	}
+	return 1-float64(d)/float64(m) >= minSim
+}

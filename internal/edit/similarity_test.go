@@ -1,0 +1,77 @@
+package edit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "", 0},
+		{"abcd", "abcx", 0.75},
+		{"AGGCGT", "AGAGT", 1 - 2.0/6},
+	}
+	for _, c := range cases {
+		if got := Similarity(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Similarity(%q, %q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestThresholdFor(t *testing.T) {
+	if ThresholdFor(0.8, 10) != 2 {
+		t.Errorf("ThresholdFor(0.8, 10) = %d", ThresholdFor(0.8, 10))
+	}
+	if ThresholdFor(1.0, 10) != 0 {
+		t.Error("sim 1.0 must mean exact match")
+	}
+	if ThresholdFor(0, 10) != 10 {
+		t.Error("sim 0 must allow everything")
+	}
+	if ThresholdFor(-1, 7) != 7 {
+		t.Error("negative sim must allow everything")
+	}
+}
+
+func TestSimilarAtLeast(t *testing.T) {
+	if !SimilarAtLeast("abcd", "abcx", 0.75) {
+		t.Error("0.75-similar pair rejected at 0.75")
+	}
+	if SimilarAtLeast("abcd", "abxx", 0.75) {
+		t.Error("0.5-similar pair accepted at 0.75")
+	}
+	if !SimilarAtLeast("", "", 0.9) {
+		t.Error("two empty strings must be similar")
+	}
+}
+
+func TestQuickSimilarityConsistency(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abc", 14)
+		b := randomString(r, "abc", 14)
+		sim := Similarity(a, b)
+		if sim < 0 || sim > 1 {
+			return false
+		}
+		// SimilarAtLeast must agree with the direct computation at the
+		// exact similarity and slightly above it.
+		if !SimilarAtLeast(a, b, sim-1e-9) {
+			return false
+		}
+		if sim < 1 && SimilarAtLeast(a, b, sim+1e-6) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "xyz", 3},
+		{"abc", "ab", -1},
+		{"ACGT", "AGGT", 1},
+	}
+	for _, c := range cases {
+		if got := HammingDistance(c.a, c.b); got != c.want {
+			t.Errorf("HammingDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingWithinK(t *testing.T) {
+	if !HammingWithinK("ACGT", "AGGT", 1) {
+		t.Error("within 1 rejected")
+	}
+	if HammingWithinK("ACGT", "AGGA", 1) {
+		t.Error("distance 2 accepted at k=1")
+	}
+	if HammingWithinK("ab", "abc", 5) {
+		t.Error("length mismatch accepted")
+	}
+	if HammingWithinK("ab", "ab", -1) {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestQuickHammingUpperBoundsEdit(t *testing.T) {
+	// For equal-length strings, ed <= hamming (substitutions are one way to
+	// transform).
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(16)
+		a := randomString(r, "abcd", n)
+		for len(a) != n {
+			a = randomString(r, "abcd", n)
+		}
+		b := randomString(r, "abcd", n)
+		for len(b) != n {
+			b = randomString(r, "abcd", n)
+		}
+		return Distance(a, b) <= HammingDistance(a, b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamerauDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "ab", 2},
+		{"ab", "", 2},
+		{"ab", "ba", 1}, // one transposition (Levenshtein: 2)
+		{"Berlin", "Berlni", 1},
+		{"abc", "abc", 0},
+		{"ca", "abc", 3}, // OSA classic: no double-editing a substring
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := DamerauDistance(c.a, c.b); got != c.want {
+			t.Errorf("DamerauDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauWithinK(t *testing.T) {
+	if !DamerauWithinK("Berlin", "Berlni", 1) {
+		t.Error("transposition not counted as one")
+	}
+	if DamerauWithinK("abcdef", "ab", 3) {
+		t.Error("length filter failed")
+	}
+	if DamerauWithinK("a", "a", -1) {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestQuickDamerauNeverExceedsLevenshtein(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abcd", 14)
+		b := randomString(r, "abcd", 14)
+		dd := DamerauDistance(a, b)
+		ld := Distance(a, b)
+		// Transpositions can only help, and by at most halving.
+		return dd <= ld && ld <= 2*dd || (dd == 0 && ld == 0)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDamerauSymmetry(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abc", 12)
+		b := randomString(r, "abc", 12)
+		return DamerauDistance(a, b) == DamerauDistance(b, a)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

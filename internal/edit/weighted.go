@@ -1,0 +1,82 @@
+package edit
+
+// Weighted edit distance. The paper uses the unweighted distance throughout
+// (competition rules), but a library user tuning "how bad is a deletion
+// compared to a substitution" needs weights; this generalization reduces to
+// Distance when all costs are 1.
+
+// Costs weights the three operations. Zero or negative values are invalid;
+// Valid reports whether the triple is usable.
+type Costs struct {
+	Insert     int
+	Delete     int
+	Substitute int
+}
+
+// UnitCosts is the unweighted (Levenshtein) configuration.
+var UnitCosts = Costs{Insert: 1, Delete: 1, Substitute: 1}
+
+// Valid reports whether all costs are positive.
+func (c Costs) Valid() bool {
+	return c.Insert > 0 && c.Delete > 0 && c.Substitute > 0
+}
+
+// effectiveSub caps the substitution cost at insert+delete, since a
+// substitution can always be emulated by a delete and an insert.
+func (c Costs) effectiveSub() int {
+	if s := c.Insert + c.Delete; c.Substitute > s {
+		return s
+	}
+	return c.Substitute
+}
+
+// WeightedDistance returns the minimal total cost of transforming a into b
+// under the given costs: deleting consumes a byte of a, inserting produces a
+// byte of b. It panics if the costs are not Valid (a programming error).
+func WeightedDistance(a, b string, c Costs) int {
+	if !c.Valid() {
+		panic("edit: invalid Costs")
+	}
+	sub := c.effectiveSub()
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 1; j <= lb; j++ {
+		prev[j] = j * c.Insert
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i * c.Delete
+		for j := 1; j <= lb; j++ {
+			best := prev[j-1]
+			if a[i-1] != b[j-1] {
+				best += sub
+			}
+			if v := prev[j] + c.Delete; v < best {
+				best = v
+			}
+			if v := curr[j-1] + c.Insert; v < best {
+				best = v
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	return prev[lb]
+}
+
+// WeightedWithinK reports whether WeightedDistance(a, b, c) <= k, with the
+// weighted length filter applied first: a length surplus of a over b costs
+// at least surplus*Delete, and of b over a at least surplus*Insert.
+func WeightedWithinK(a, b string, c Costs, k int) bool {
+	if k < 0 {
+		return false
+	}
+	if d := len(a) - len(b); d > 0 {
+		if d*c.Delete > k {
+			return false
+		}
+	} else if -d*c.Insert > k {
+		return false
+	}
+	return WeightedDistance(a, b, c) <= k
+}

@@ -1,0 +1,97 @@
+package edit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedReducesToUnweighted(t *testing.T) {
+	cases := [][2]string{
+		{"AGGCGT", "AGAGT"}, {"", "abc"}, {"kitten", "sitting"}, {"", ""},
+	}
+	for _, c := range cases {
+		if got, want := WeightedDistance(c[0], c[1], UnitCosts), Distance(c[0], c[1]); got != want {
+			t.Errorf("WeightedDistance(%q, %q, unit) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestWeightedAsymmetricCosts(t *testing.T) {
+	c := Costs{Insert: 1, Delete: 10, Substitute: 10}
+	// "ab" -> "abc": one insert = 1.
+	if got := WeightedDistance("ab", "abc", c); got != 1 {
+		t.Errorf("insert cost = %d, want 1", got)
+	}
+	// "abc" -> "ab": one delete = 10.
+	if got := WeightedDistance("abc", "ab", c); got != 10 {
+		t.Errorf("delete cost = %d, want 10", got)
+	}
+	// Substitution capped by insert+delete: sub cost 100 never used.
+	cc := Costs{Insert: 1, Delete: 1, Substitute: 100}
+	if got := WeightedDistance("a", "b", cc); got != 2 {
+		t.Errorf("capped substitution = %d, want 2 (delete+insert)", got)
+	}
+}
+
+func TestWeightedInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid costs did not panic")
+		}
+	}()
+	WeightedDistance("a", "b", Costs{Insert: 0, Delete: 1, Substitute: 1})
+}
+
+func TestWeightedWithinK(t *testing.T) {
+	c := Costs{Insert: 2, Delete: 3, Substitute: 4}
+	d := WeightedDistance("berlin", "bern", c)
+	if !WeightedWithinK("berlin", "bern", c, d) {
+		t.Error("WithinK rejects the exact distance")
+	}
+	if WeightedWithinK("berlin", "bern", c, d-1) {
+		t.Error("WithinK accepts below the distance")
+	}
+	if WeightedWithinK("a", "a", c, -1) {
+		t.Error("negative k accepted")
+	}
+	// Length filter path: surplus of 5 deletions at cost 3 > k 10.
+	if WeightedWithinK("aaaaaa", "a", c, 10) {
+		t.Error("weighted length filter failed")
+	}
+}
+
+func TestQuickWeightedProperties(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, "abc", 12)
+		b := randomString(r, "abc", 12)
+		c := Costs{Insert: 1 + r.Intn(4), Delete: 1 + r.Intn(4), Substitute: 1 + r.Intn(6)}
+		d := WeightedDistance(a, b, c)
+		// Identity.
+		if WeightedDistance(a, a, c) != 0 {
+			return false
+		}
+		// Swapping the strings swaps insert/delete roles.
+		swapped := Costs{Insert: c.Delete, Delete: c.Insert, Substitute: c.Substitute}
+		if WeightedDistance(b, a, swapped) != d {
+			return false
+		}
+		// Unit weights equal the plain distance.
+		if WeightedDistance(a, b, UnitCosts) != Distance(a, b) {
+			return false
+		}
+		// Lower bound: at least minCost * unweighted distance.
+		min := c.Insert
+		if c.Delete < min {
+			min = c.Delete
+		}
+		if s := c.effectiveSub(); s < min {
+			min = s
+		}
+		return d >= min*Distance(a, b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

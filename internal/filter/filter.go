@@ -1,0 +1,206 @@
+// Package filter implements the pre-filters that let both engines skip edit
+// distance computations entirely.
+//
+// The paper uses the length filter (§3.2, eq. 5) in the sequential engine and
+// proposes frequency-vector filtering as future work (§6, after Rheinländer
+// et al.'s PETER index, which stores frequency vectors in its tree nodes).
+// Every filter in this package is *sound*: it never rejects a string whose
+// edit distance to the query is within the threshold. The integration tests
+// verify this on random workloads.
+package filter
+
+// Filter is a sound pre-filter for the string similarity search problem:
+// Keep(q, x, k) == false implies ed(q, x) > k.
+type Filter interface {
+	// Keep reports whether x may be within edit distance k of q.
+	Keep(q, x string, k int) bool
+	// Name identifies the filter in benchmark output.
+	Name() string
+}
+
+// Length is the paper's eq. 5 filter: if |len(q)-len(x)| > k the strings
+// cannot be within distance k, because every edit changes the length by at
+// most one.
+type Length struct{}
+
+// Keep implements Filter.
+func (Length) Keep(q, x string, k int) bool {
+	d := len(q) - len(x)
+	if d < 0 {
+		d = -d
+	}
+	return d <= k
+}
+
+// Name implements Filter.
+func (Length) Name() string { return "length" }
+
+// Vector is a frequency vector: the number of occurrences of each tracked
+// symbol in a string (paper §6 "Frequency vectors"; for DNA the symbols
+// A, C, G, N, T; for city names the vowels A, E, I, O, U).
+type Vector []int
+
+// Frequency filters by comparing per-symbol occurrence counts. A single edit
+// operation changes each symbol count by at most one and the total L1
+// difference of the two vectors by at most 2 (a replacement decrements one
+// count and increments another). Therefore
+//
+//	sum_c max(0, count_q(c) - count_x(c))  >  k   =>   ed(q, x) > k
+//
+// and symmetrically for x over q; the larger of the two one-sided sums is a
+// lower bound on the edit distance restricted to the tracked symbols.
+type Frequency struct {
+	symbols [256]int // symbol -> tracked index+1; 0 = untracked
+	n       int
+	name    string
+}
+
+// NewFrequency builds a frequency filter tracking the given symbols.
+// The paper's suggested alphabets are available as DNAFrequency and
+// VowelFrequency.
+func NewFrequency(name string, symbols string) *Frequency {
+	f := &Frequency{name: name}
+	for i := 0; i < len(symbols); i++ {
+		c := symbols[i]
+		if f.symbols[c] == 0 {
+			f.n++
+			f.symbols[c] = f.n
+		}
+	}
+	return f
+}
+
+// DNAFrequency tracks the DNA alphabet A, C, G, N, T (paper §6).
+func DNAFrequency() *Frequency { return NewFrequency("freq-dna", "ACGNT") }
+
+// VowelFrequency tracks the vowels A, E, I, O, U in both cases
+// (paper §6 suggests A, E, I, O, U for the city names).
+func VowelFrequency() *Frequency { return NewFrequency("freq-vowel", "AEIOUaeiou") }
+
+// VectorOf computes the frequency vector of s under this filter's tracked
+// symbols. The result has one entry per tracked symbol.
+func (f *Frequency) VectorOf(s string) Vector {
+	v := make(Vector, f.n)
+	for i := 0; i < len(s); i++ {
+		if idx := f.symbols[s[i]]; idx != 0 {
+			v[idx-1]++
+		}
+	}
+	return v
+}
+
+// Bound returns a lower bound on ed(q, x) given their frequency vectors:
+// max over directions of the summed positive count surplus.
+func (f *Frequency) Bound(vq, vx Vector) int {
+	var over, under int
+	for i := range vq {
+		d := vq[i] - vx[i]
+		if d > 0 {
+			over += d
+		} else {
+			under -= d
+		}
+	}
+	if over > under {
+		return over
+	}
+	return under
+}
+
+// Keep implements Filter.
+func (f *Frequency) Keep(q, x string, k int) bool {
+	return f.Bound(f.VectorOf(q), f.VectorOf(x)) <= k
+}
+
+// Name implements Filter.
+func (f *Frequency) Name() string { return f.name }
+
+// Symbols returns the tracked alphabet in tracking order. Rebuilding a
+// Frequency from Name() and Symbols() yields an equivalent filter, which
+// index serialization relies on.
+func (f *Frequency) Symbols() string {
+	out := make([]byte, f.n)
+	for c := 0; c < 256; c++ {
+		if idx := f.symbols[c]; idx != 0 {
+			out[idx-1] = byte(c)
+		}
+	}
+	return string(out)
+}
+
+// Histogram filters on the full 256-symbol byte histogram. A replacement
+// changes two counts by one each; an insert or delete changes one count by
+// one. Hence ed(q, x) >= max(over, under) where over/under are the one-sided
+// L1 surpluses, the same bound as Frequency but over all bytes. It is the
+// strongest count-based filter and the most expensive to evaluate.
+type Histogram struct{}
+
+// Keep implements Filter.
+func (Histogram) Keep(q, x string, k int) bool {
+	var hq, hx [256]int
+	for i := 0; i < len(q); i++ {
+		hq[q[i]]++
+	}
+	for i := 0; i < len(x); i++ {
+		hx[x[i]]++
+	}
+	var over, under int
+	for c := 0; c < 256; c++ {
+		d := hq[c] - hx[c]
+		if d > 0 {
+			over += d
+		} else {
+			under -= d
+		}
+	}
+	m := over
+	if under > m {
+		m = under
+	}
+	return m <= k
+}
+
+// Name implements Filter.
+func (Histogram) Name() string { return "histogram" }
+
+// Chain applies several filters in order and keeps a string only if every
+// filter keeps it. Chains stay sound because each member is sound.
+type Chain struct {
+	Filters []Filter
+}
+
+// Keep implements Filter.
+func (c Chain) Keep(q, x string, k int) bool {
+	for _, f := range c.Filters {
+		if !f.Keep(q, x, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Filter.
+func (c Chain) Name() string {
+	name := "chain("
+	for i, f := range c.Filters {
+		if i > 0 {
+			name += ","
+		}
+		name += f.Name()
+	}
+	return name + ")"
+}
+
+// QGramCountBound returns the minimum number of q-grams two strings must
+// share to possibly be within edit distance k: a string of length l has
+// l-q+1 q-grams and one edit destroys at most q of them, so matches need at
+// least max(len(a), len(b)) - q + 1 - k*q common q-grams. A non-positive
+// bound means the count filter cannot prune. Used by the q-gram baseline
+// (internal/ngram).
+func QGramCountBound(lenA, lenB, q, k int) int {
+	l := lenA
+	if lenB > l {
+		l = lenB
+	}
+	return l - q + 1 - k*q
+}

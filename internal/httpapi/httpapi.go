@@ -1,0 +1,212 @@
+// Package httpapi exposes a search engine over HTTP with a small JSON API,
+// turning the library into a deployable fuzzy-search service (the kind of
+// application the paper's introduction motivates: tolerant lookups over city
+// names or genome reads).
+//
+// Endpoints:
+//
+//	GET /search?q=TEXT&k=N        all matches within N edits
+//	GET /topk?q=TEXT&n=N&maxk=M   the N closest matches within M edits
+//	GET /hamming?q=TEXT&k=N       Hamming matches (trie engines only)
+//	GET /stats                    engine and dataset information
+//	GET /healthz                  liveness probe
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+)
+
+// Server wires an engine and its dataset into an http.Handler.
+type Server struct {
+	eng  core.Searcher
+	data []string
+	mux  *http.ServeMux
+	// MaxK caps the accepted threshold so one request cannot trigger an
+	// effectively unbounded scan. Defaults to 16 (the paper's largest k).
+	MaxK int
+}
+
+// New builds the handler. data must be the slice the engine was built over;
+// it is used to echo matched strings.
+func New(eng core.Searcher, data []string) *Server {
+	s := &Server{eng: eng, data: data, mux: http.NewServeMux(), MaxK: 16}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/hamming", s.handleHamming)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// MatchJSON is one result row.
+type MatchJSON struct {
+	ID     int32  `json:"id"`
+	String string `json:"string"`
+	Dist   int    `json:"dist"`
+}
+
+// SearchResponse is the /search and /topk payload.
+type SearchResponse struct {
+	Query   string      `json:"query"`
+	K       int         `json:"k"`
+	Matches []MatchJSON `json:"matches"`
+	TookµS  int64       `json:"took_us"`
+}
+
+// ErrorResponse is the error payload.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func (s *Server) intParam(r *http.Request, name string, def int) (int, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Server) convert(ms []core.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = MatchJSON{ID: m.ID, String: s.data[m.ID], Dist: m.Dist}
+	}
+	return out
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k, ok := s.intParam(r, "k", 2)
+	if !ok || k < 0 {
+		s.fail(w, http.StatusBadRequest, "k must be a non-negative integer")
+		return
+	}
+	if k > s.MaxK {
+		s.fail(w, http.StatusBadRequest, "k exceeds the configured maximum")
+		return
+	}
+	start := time.Now()
+	ms := s.eng.Search(core.Query{Text: q, K: k})
+	resp := SearchResponse{
+		Query: q, K: k,
+		Matches: s.convert(ms),
+		TookµS:  time.Since(start).Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	n, ok := s.intParam(r, "n", 5)
+	if !ok || n < 1 {
+		s.fail(w, http.StatusBadRequest, "n must be a positive integer")
+		return
+	}
+	maxK, ok := s.intParam(r, "maxk", 4)
+	if !ok || maxK < 0 || maxK > s.MaxK {
+		s.fail(w, http.StatusBadRequest, "maxk out of range")
+		return
+	}
+	start := time.Now()
+	ms := core.TopK(s.eng, q, n, maxK)
+	resp := SearchResponse{
+		Query: q, K: maxK,
+		Matches: s.convert(ms),
+		TookµS:  time.Since(start).Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	t, ok := s.eng.(*core.Trie)
+	if !ok {
+		s.fail(w, http.StatusNotImplemented, "hamming search requires a trie engine")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k, okParam := s.intParam(r, "k", 2)
+	if !okParam || k < 0 || k > s.MaxK {
+		s.fail(w, http.StatusBadRequest, "k out of range")
+		return
+	}
+	start := time.Now()
+	ms := t.SearchHamming(q, k)
+	resp := SearchResponse{
+		Query: q, K: k,
+		Matches: s.convert(ms),
+		TookµS:  time.Since(start).Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Engine  string  `json:"engine"`
+	Count   int     `json:"count"`
+	Symbols int     `json:"symbols"`
+	MinLen  int     `json:"min_len"`
+	AvgLen  float64 `json:"avg_len"`
+	MaxLen  int     `json:"max_len"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	info := dataset.Stats(s.data)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(StatsResponse{
+		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
+		MinLen: info.MinLen, AvgLen: info.AvgLen, MaxLen: info.MaxLen,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,161 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"simsearch/internal/core"
+)
+
+var data = []string{"berlin", "bern", "bonn", "ulm", "munich"}
+
+func newTestServer() *httptest.Server {
+	eng := core.NewTrie(data, true)
+	return httptest.NewServer(New(eng, data))
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	var resp SearchResponse
+	r := getJSON(t, ts.URL+"/search?q=berlni&k=2", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(resp.Matches) != 2 {
+		t.Fatalf("matches = %v", resp.Matches)
+	}
+	if resp.Matches[0].String != "berlin" || resp.Matches[0].Dist != 2 {
+		t.Errorf("first match %v", resp.Matches[0])
+	}
+	if resp.TookµS < 0 {
+		t.Error("negative timing")
+	}
+}
+
+func TestSearchDefaults(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	var resp SearchResponse
+	getJSON(t, ts.URL+"/search?q=bern", &resp)
+	if resp.K != 2 {
+		t.Errorf("default k = %d", resp.K)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/search", http.StatusBadRequest},            // no q
+		{"/search?q=x&k=abc", http.StatusBadRequest},  // bad k
+		{"/search?q=x&k=-1", http.StatusBadRequest},   // negative k
+		{"/search?q=x&k=99", http.StatusBadRequest},   // k over MaxK
+		{"/topk?q=x&n=0", http.StatusBadRequest},      // n < 1
+		{"/topk?q=x&maxk=200", http.StatusBadRequest}, // maxk over cap
+		{"/topk", http.StatusBadRequest},              // no q
+	}
+	for _, c := range cases {
+		var e ErrorResponse
+		r := getJSON(t, ts.URL+c.url, &e)
+		if r.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.url, r.StatusCode, c.code)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", c.url)
+		}
+	}
+}
+
+func TestSearchMethodNotAllowed(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/search?q=x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	var resp SearchResponse
+	getJSON(t, ts.URL+"/topk?q=berlni&n=2&maxk=3", &resp)
+	if len(resp.Matches) != 2 {
+		t.Fatalf("matches = %v", resp.Matches)
+	}
+	if resp.Matches[0].Dist > resp.Matches[1].Dist {
+		t.Error("topk not distance-ordered")
+	}
+}
+
+func TestHammingEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	var resp SearchResponse
+	getJSON(t, ts.URL+"/hamming?q=bern&k=1", &resp)
+	if len(resp.Matches) != 1 || resp.Matches[0].String != "bern" {
+		t.Errorf("matches = %v", resp.Matches)
+	}
+	var e ErrorResponse
+	r := getJSON(t, ts.URL+"/hamming", &e)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q: %d", r.StatusCode)
+	}
+	r = getJSON(t, ts.URL+"/hamming?q=x&k=999", &e)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("huge k: %d", r.StatusCode)
+	}
+	// Non-trie engine: 501.
+	scanSrv := httptest.NewServer(New(core.NewSequential(data), data))
+	defer scanSrv.Close()
+	r = getJSON(t, scanSrv.URL+"/hamming?q=x&k=1", &e)
+	if r.StatusCode != http.StatusNotImplemented {
+		t.Errorf("non-trie engine: %d", r.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	if resp.Count != len(data) || resp.Engine == "" || resp.MaxLen != 6 {
+		t.Errorf("stats = %+v", resp)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

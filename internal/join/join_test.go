@@ -1,0 +1,187 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+// refJoin is the trivially correct oracle.
+func refJoin(r, s []string, k int) []Pair {
+	var out []Pair
+	for i, ri := range r {
+		for j, sj := range s {
+			if d := edit.Distance(ri, sj); d <= k {
+				out = append(out, Pair{R: int32(i), S: int32(j), Dist: d})
+			}
+		}
+	}
+	return out
+}
+
+var left = []string{"berlin", "bern", "bonn", "ulm"}
+var right = []string{"berlim", "born", "ulm", "paris", ""}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{NestedLoop, LengthSorted, TrieJoin, PassJoin}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		NestedLoop: "nested-loop", LengthSorted: "length-sorted", TrieJoin: "trie",
+		PassJoin: "passjoin", Algorithm(99): "unknown",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestJoinAgainstReference(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		for _, workers := range []int{0, 4} {
+			for k := 0; k <= 3; k++ {
+				got := Pairs(left, right, k, Options{Algorithm: alg, Workers: workers})
+				want := refJoin(left, right, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v workers=%d k=%d: got %v, want %v", alg, workers, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinEmptyAndNegative(t *testing.T) {
+	if got := Pairs(nil, right, 2, Options{}); got != nil {
+		t.Errorf("nil left: %v", got)
+	}
+	if got := Pairs(left, nil, 2, Options{}); got != nil {
+		t.Errorf("nil right: %v", got)
+	}
+	if got := Pairs(left, right, -1, Options{}); got != nil {
+		t.Errorf("k=-1: %v", got)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	data := []string{"aaa", "aab", "abb", "zzz", "aaa"}
+	got := SelfJoin(data, 1, Options{Algorithm: TrieJoin})
+	// Expected unordered pairs within distance 1:
+	// (0,1) aaa-aab, (1,2) aab-abb, (0,4) aaa-aaa, (1,4) aab-aaa
+	want := []Pair{{0, 1, 1}, {0, 4, 0}, {1, 2, 1}, {1, 4, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	for _, p := range got {
+		if p.R >= p.S {
+			t.Errorf("self-join emitted non-canonical pair %v", p)
+		}
+	}
+}
+
+func TestTrieJoinSideSwap(t *testing.T) {
+	// The trie indexes the smaller side; results must be identical either
+	// way around.
+	small := []string{"abc", "abd"}
+	large := []string{"abc", "abe", "xyz", "ab", "abcd"}
+	for k := 0; k <= 2; k++ {
+		a := Pairs(small, large, k, Options{Algorithm: TrieJoin})
+		want := refJoin(small, large, k)
+		if !reflect.DeepEqual(a, want) {
+			t.Errorf("k=%d small×large: got %v want %v", k, a, want)
+		}
+		b := Pairs(large, small, k, Options{Algorithm: TrieJoin})
+		want2 := refJoin(large, small, k)
+		if !reflect.DeepEqual(b, want2) {
+			t.Errorf("k=%d large×small: got %v want %v", k, b, want2)
+		}
+	}
+}
+
+func randomStrings(r *rand.Rand, n int, alphabet string, maxLen int) []string {
+	out := make([]string, n)
+	for i := range out {
+		l := r.Intn(maxLen + 1)
+		var sb strings.Builder
+		for j := 0; j < l; j++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func TestQuickJoinsAgree(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		fn := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a := randomStrings(r, 1+r.Intn(25), "abC", 8)
+			b := randomStrings(r, 1+r.Intn(25), "abC", 8)
+			k := r.Intn(4)
+			return reflect.DeepEqual(
+				Pairs(a, b, k, Options{Algorithm: alg, Workers: 1 + r.Intn(4)}),
+				refJoin(a, b, k))
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestClusters(t *testing.T) {
+	data := []string{"berlin", "berlim", "berlin ", "ulm", "ulme", "tokyo"}
+	groups := Clusters(data, 1, Options{Algorithm: LengthSorted})
+	// berlin/berlim/"berlin " connect (distance 1 chains), ulm/ulme connect,
+	// tokyo is a singleton.
+	if len(groups) != 3 {
+		t.Fatalf("got %d clusters: %v", len(groups), groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int32{0, 1, 2}) {
+		t.Errorf("cluster 0 = %v", groups[0])
+	}
+	if !reflect.DeepEqual(groups[1], []int32{3, 4}) {
+		t.Errorf("cluster 1 = %v", groups[1])
+	}
+	if !reflect.DeepEqual(groups[2], []int32{5}) {
+		t.Errorf("cluster 2 = %v", groups[2])
+	}
+}
+
+func TestClustersTransitivity(t *testing.T) {
+	// a-b within 1, b-c within 1, but a-c at 2: all in one cluster.
+	data := []string{"aaaa", "aaab", "aabb"}
+	groups := Clusters(data, 1, Options{})
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestQuickClustersPartition(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := randomStrings(r, 1+r.Intn(30), "ab", 6)
+		groups := Clusters(data, r.Intn(3), Options{Algorithm: TrieJoin})
+		seen := map[int32]bool{}
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			for _, m := range g {
+				if seen[m] {
+					return false // appears twice
+				}
+				seen[m] = true
+			}
+		}
+		return len(seen) == len(data) // every index covered
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+package lev
+
+import (
+	"testing"
+
+	"simsearch/internal/edit"
+)
+
+func FuzzAutomatonAgreesWithDP(f *testing.F) {
+	f.Add("berlin", "berlni", uint8(2))
+	f.Add("", "", uint8(0))
+	f.Add("abababab", "babababa", uint8(3))
+	f.Add("ACGTACGTACGTACGT", "ACGTTACGTACGGT", uint8(16))
+	f.Fuzz(func(t *testing.T, q, s string, kRaw uint8) {
+		if len(q) > 96 || len(s) > 96 {
+			return
+		}
+		k := int(kRaw % 18)
+		a := New(q, k)
+		gotD, gotOK := a.MatchDistance(s)
+		wantD, wantOK := edit.BoundedDistance(q, s, k)
+		if gotOK != wantOK {
+			t.Fatalf("automaton ok=%v, DP ok=%v (q=%q s=%q k=%d)", gotOK, wantOK, q, s, k)
+		}
+		if gotOK && gotD != wantD {
+			t.Fatalf("automaton %d, DP %d (q=%q s=%q k=%d)", gotD, wantD, q, s, k)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package lev
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func TestMatchBasics(t *testing.T) {
+	a := New("berlin", 2)
+	accept := []string{"berlin", "berlni", "berli", "bverlin", "erlin", "berlinxx", "brlin"}
+	for _, s := range accept {
+		if !a.MatchString(s) {
+			t.Errorf("MatchString(%q) = false, want true (d=%d)", s, edit.Distance("berlin", s))
+		}
+	}
+	reject := []string{"", "b", "tokyo", "berlinxxx", "nilreb"}
+	for _, s := range reject {
+		if a.MatchString(s) {
+			t.Errorf("MatchString(%q) = true, want false (d=%d)", s, edit.Distance("berlin", s))
+		}
+	}
+}
+
+func TestMatchDistanceExact(t *testing.T) {
+	a := New("AGGCGT", 3)
+	d, ok := a.MatchDistance("AGAGT")
+	if !ok || d != 2 {
+		t.Errorf("MatchDistance = %d,%v; want 2,true", d, ok)
+	}
+	if _, ok := a.MatchDistance("TTTTTTTT"); ok {
+		t.Error("far string accepted")
+	}
+}
+
+func TestZeroK(t *testing.T) {
+	a := New("abc", 0)
+	if !a.MatchString("abc") {
+		t.Error("exact match rejected at k=0")
+	}
+	for _, s := range []string{"ab", "abd", "abcd", ""} {
+		if a.MatchString(s) {
+			t.Errorf("k=0 accepted %q", s)
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	a := New("", 1)
+	if !a.MatchString("") || !a.MatchString("x") {
+		t.Error("empty query, k=1 must accept length <= 1")
+	}
+	if a.MatchString("xy") {
+		t.Error("empty query, k=1 accepted length 2")
+	}
+}
+
+func TestNegativeKClamped(t *testing.T) {
+	a := New("abc", -5)
+	if !a.MatchString("abc") || a.MatchString("abd") {
+		t.Error("negative k must behave as k=0")
+	}
+}
+
+func TestDeadStateShortCircuit(t *testing.T) {
+	a := New("aaaa", 1)
+	s := a.Start()
+	for _, c := range []byte("zzz") {
+		s = a.Step(s, c)
+	}
+	if !a.Dead(s) {
+		t.Error("state not dead after 3 foreign characters at k=1")
+	}
+	// Stepping a dead state stays dead.
+	if !a.Dead(a.Step(s, 'a')) {
+		t.Error("dead state resurrected")
+	}
+}
+
+func TestStateSharingAcrossRuns(t *testing.T) {
+	a := New("abcdefgh", 1)
+	inputs := []string{"abcdefgh", "abcdefg", "xabcdefgh", "abcdxfgh"}
+	for _, in := range inputs {
+		a.MatchString(in)
+	}
+	before := a.StateCount()
+	for _, in := range inputs {
+		a.MatchString(in)
+	}
+	if a.StateCount() != before {
+		t.Errorf("states grew on repeated inputs: %d -> %d", before, a.StateCount())
+	}
+	if before < 2 {
+		t.Errorf("suspiciously few states: %d", before)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickAgreesWithDP(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 5} {
+		k := k
+		fn := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			q := randomString(r, "abAB", 14)
+			a := New(q, k)
+			for trial := 0; trial < 12; trial++ {
+				var s string
+				if trial%2 == 0 {
+					s = randomString(r, "abAB", 14)
+				} else {
+					// Bias towards near-matches so acceptance paths are hit.
+					s = mutate(r, q, r.Intn(k+2))
+				}
+				wantD, wantOK := edit.BoundedDistance(q, s, k)
+				gotD, gotOK := a.MatchDistance(s)
+				if wantOK != gotOK {
+					return false
+				}
+				if wantOK && wantD != gotD {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestQuickLongDNAHighK(t *testing.T) {
+	// The DNA regime: long strings, k up to 16 (class vectors past 32 bits).
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomString(r, "ACGT", 120)
+		k := 8 + r.Intn(9) // 8..16
+		a := New(q, k)
+		for trial := 0; trial < 4; trial++ {
+			s := mutate(r, q, r.Intn(k+4))
+			wantD, wantOK := edit.BoundedDistance(q, s, k)
+			gotD, gotOK := a.MatchDistance(s)
+			if wantOK != gotOK || (wantOK && wantD != gotD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEndTruncationMemoization pins the regression where a transition cached
+// near the end of the query (truncated) was reused mid-query.
+func TestEndTruncationMemoization(t *testing.T) {
+	// Query with a repeated block so identical normalized states occur both
+	// mid-query and at the end.
+	q := strings.Repeat("ab", 10)
+	a := New(q, 2)
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		s := mutate(r, q, r.Intn(4))
+		want := edit.WithinK(q, s, 2)
+		if got := a.MatchString(s); got != want {
+			t.Fatalf("MatchString(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func mutate(r *rand.Rand, s string, n int) string {
+	const alpha = "abABACGT"
+	bs := []byte(s)
+	for i := 0; i < n; i++ {
+		switch op := r.Intn(3); {
+		case op == 0 && len(bs) > 0:
+			bs[r.Intn(len(bs))] = alpha[r.Intn(len(alpha))]
+		case op == 1 && len(bs) > 0:
+			p := r.Intn(len(bs))
+			bs = append(bs[:p], bs[p+1:]...)
+		default:
+			p := r.Intn(len(bs) + 1)
+			bs = append(bs[:p], append([]byte{alpha[r.Intn(len(alpha))]}, bs[p:]...)...)
+		}
+	}
+	return string(bs)
+}

@@ -1,0 +1,205 @@
+// Package minhash implements a MinHash/LSH candidate generator over q-gram
+// sets — the classic approximate technique for similarity search at scales
+// where exact indexes stop fitting. Unlike every other engine in this
+// repository it is NOT exact: LSH can miss true matches (recall < 1), while
+// verification keeps precision at 1. The tests and benchmarks measure recall
+// explicitly so the trade-off is visible instead of silent.
+//
+// Pipeline: a string's q-gram set is sketched into an m-value MinHash
+// signature (per-hash affine permutations of a 64-bit FNV gram hash); the
+// signature is cut into b bands of r rows (m = b·r); strings sharing any
+// band bucket with the query become candidates; candidates are verified with
+// the bounded edit distance. Larger b (smaller r) raises recall and cost.
+package minhash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"simsearch/internal/edit"
+)
+
+// Match is one verified search result.
+type Match struct {
+	ID   int32
+	Dist int
+}
+
+// Config sizes the sketch.
+type Config struct {
+	// Q is the gram size (default 3).
+	Q int
+	// Bands and Rows factor the signature: m = Bands*Rows. Defaults 16 and 4.
+	Bands, Rows int
+	// Seed makes the hash family deterministic (default 1).
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Q < 1 {
+		c.Q = 3
+	}
+	if c.Bands < 1 {
+		c.Bands = 16
+	}
+	if c.Rows < 1 {
+		c.Rows = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Index is the LSH index.
+type Index struct {
+	cfg      Config
+	data     []string
+	a, b     []uint64             // affine permutation parameters, one pair per hash
+	buck     []map[uint64][]int32 // per band: bucket key -> string ids
+	shortIDs []int32              // strings with fewer than Q bytes: always candidates
+}
+
+// New builds the index over data.
+func New(data []string, cfg Config) *Index {
+	cfg.fill()
+	idx := &Index{cfg: cfg, data: data}
+	m := cfg.Bands * cfg.Rows
+	r := rand.New(rand.NewSource(cfg.Seed))
+	idx.a = make([]uint64, m)
+	idx.b = make([]uint64, m)
+	for i := 0; i < m; i++ {
+		idx.a[i] = r.Uint64() | 1 // odd, so the map is a bijection mod 2^64
+		idx.b[i] = r.Uint64()
+	}
+	idx.buck = make([]map[uint64][]int32, cfg.Bands)
+	for i := range idx.buck {
+		idx.buck[i] = make(map[uint64][]int32)
+	}
+	sig := make([]uint64, m)
+	for id, s := range data {
+		if len(s) < cfg.Q {
+			idx.shortIDs = append(idx.shortIDs, int32(id))
+			continue
+		}
+		idx.signature(s, sig)
+		for band := 0; band < cfg.Bands; band++ {
+			key := bandKey(sig[band*cfg.Rows : (band+1)*cfg.Rows])
+			idx.buck[band][key] = append(idx.buck[band][key], int32(id))
+		}
+	}
+	return idx
+}
+
+// signature fills sig with the MinHash sketch of s.
+func (idx *Index) signature(s string, sig []uint64) {
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	q := idx.cfg.Q
+	for j := 0; j+q <= len(s); j++ {
+		h := fnv.New64a()
+		h.Write([]byte(s[j : j+q]))
+		g := h.Sum64()
+		for i := range sig {
+			v := idx.a[i]*g + idx.b[i]
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+}
+
+// bandKey hashes one band of the signature into a bucket key.
+func bandKey(rows []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range rows {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Len returns the dataset size.
+func (idx *Index) Len() int { return len(idx.data) }
+
+// Candidates returns the deduplicated LSH candidate set for q (before
+// verification), plus the always-candidate short strings.
+func (idx *Index) Candidates(q string) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	add := func(id int32) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if len(q) >= idx.cfg.Q {
+		m := idx.cfg.Bands * idx.cfg.Rows
+		sig := make([]uint64, m)
+		idx.signature(q, sig)
+		for band := 0; band < idx.cfg.Bands; band++ {
+			key := bandKey(sig[band*idx.cfg.Rows : (band+1)*idx.cfg.Rows])
+			for _, id := range idx.buck[band][key] {
+				add(id)
+			}
+		}
+	}
+	for _, id := range idx.shortIDs {
+		add(id)
+	}
+	return out
+}
+
+// Search returns verified matches among the LSH candidates, sorted by ID.
+// Precision is exact (every returned match is within k); recall is not
+// (matches outside every shared bucket are missed).
+func (idx *Index) Search(q string, k int) []Match {
+	if k < 0 {
+		return nil
+	}
+	var scratch edit.Scratch
+	var out []Match
+	for _, id := range idx.Candidates(q) {
+		if d, ok := scratch.BoundedDistance(q, idx.data[id], k); ok {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Recall measures, over the given queries, the fraction of true matches
+// (per the exact reference scan) that Search finds. It is the package's
+// honesty instrument.
+func (idx *Index) Recall(queries []string, k int) float64 {
+	truePos, relevant := 0, 0
+	var scratch edit.Scratch
+	for _, q := range queries {
+		got := map[int32]bool{}
+		for _, m := range idx.Search(q, k) {
+			got[m.ID] = true
+		}
+		for id, s := range idx.data {
+			if _, ok := scratch.BoundedDistance(q, s, k); ok {
+				relevant++
+				if got[int32(id)] {
+					truePos++
+				}
+			}
+		}
+	}
+	if relevant == 0 {
+		return 1
+	}
+	return float64(truePos) / float64(relevant)
+}
+
+// String describes the configuration.
+func (idx *Index) String() string {
+	return fmt.Sprintf("minhash(q=%d, bands=%d, rows=%d)", idx.cfg.Q, idx.cfg.Bands, idx.cfg.Rows)
+}

@@ -1,0 +1,106 @@
+package minhash
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"simsearch/internal/dataset"
+	"simsearch/internal/edit"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	idx := New([]string{"abc"}, Config{})
+	if idx.cfg.Q != 3 || idx.cfg.Bands != 16 || idx.cfg.Rows != 4 || idx.cfg.Seed != 1 {
+		t.Errorf("defaults = %+v", idx.cfg)
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if idx.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestExactDuplicatesAlwaysFound(t *testing.T) {
+	// Identical strings share every band, so recall on exact duplicates is 1.
+	data := []string{"magdeburg", "hamburg", "magdeburg", "berlin"}
+	idx := New(data, Config{Q: 2})
+	ms := idx.Search("magdeburg", 0)
+	if len(ms) != 2 || ms[0].ID != 0 || ms[1].ID != 2 {
+		t.Errorf("got %v", ms)
+	}
+}
+
+func TestPrecisionIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := make([]string, 300)
+	for i := range data {
+		data[i] = randomString(r, "abcde", 20)
+	}
+	idx := New(data, Config{Q: 2, Bands: 8, Rows: 2})
+	for trial := 0; trial < 30; trial++ {
+		q := randomString(r, "abcde", 20)
+		for _, m := range idx.Search(q, 2) {
+			if edit.Distance(q, data[m.ID]) != m.Dist || m.Dist > 2 {
+				t.Fatalf("false positive: %v for %q", m, q)
+			}
+		}
+	}
+}
+
+func TestShortStringsAlwaysCandidates(t *testing.T) {
+	data := []string{"ab", "a", "", "abcdef"}
+	idx := New(data, Config{Q: 3})
+	ms := idx.Search("ab", 1)
+	// "ab"(0), "a"(1) within 1; "" at 2; short strings must not be lost.
+	if len(ms) != 2 || ms[0].ID != 0 || ms[1].ID != 1 {
+		t.Errorf("got %v", ms)
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	idx := New([]string{"abc"}, Config{})
+	if got := idx.Search("abc", -1); got != nil {
+		t.Errorf("k=-1: %v", got)
+	}
+}
+
+func TestRecallOnNearDuplicates(t *testing.T) {
+	// Near-duplicate workload: high gram overlap, so a generous band count
+	// must achieve high recall. This is a statistical property; the seed is
+	// fixed and the corpus controlled, so the test is deterministic.
+	base := dataset.Cities(400, 5)
+	r := rand.New(rand.NewSource(9))
+	var queries []string
+	for i := 0; i < 40; i++ {
+		queries = append(queries, dataset.Mutate(r, base[r.Intn(len(base))], 1, "abcdef"))
+	}
+	idx := New(base, Config{Q: 2, Bands: 32, Rows: 2, Seed: 7})
+	recall := idx.Recall(queries, 1)
+	if recall < 0.9 {
+		t.Errorf("recall = %.3f, want >= 0.9 on near-duplicates", recall)
+	}
+	// Fewer bands must not raise recall (sanity of the knob's direction is
+	// statistical; only check it stays within [0, 1]).
+	low := New(base, Config{Q: 2, Bands: 2, Rows: 8, Seed: 7}).Recall(queries, 1)
+	if low < 0 || low > 1 {
+		t.Errorf("recall out of range: %f", low)
+	}
+}
+
+func TestRecallEmptyRelevantSet(t *testing.T) {
+	idx := New([]string{"aaaa"}, Config{})
+	if got := idx.Recall([]string{"zzzzzzzz"}, 1); got != 1 {
+		t.Errorf("vacuous recall = %f, want 1", got)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+// Package ngram implements a q-gram inverted index with count filtering, the
+// standard signature-based approach to string similarity search (and the one
+// most mature OSS libraries ship). It serves as a baseline against the
+// paper's two engines.
+//
+// A string of length l contains l-q+1 overlapping q-grams. One edit
+// operation destroys at most q of them, so two strings within edit distance
+// k share at least max(la, lb) - q + 1 - k·q q-grams (the count filter; see
+// internal/filter.QGramCountBound). The index maps each q-gram to the IDs of
+// the strings containing it; a query merges the posting lists of its own
+// q-grams, keeps candidates that pass the count filter, and verifies them
+// with the bounded edit distance. Strings shorter than q have no q-grams and
+// are kept as unfiltered candidates.
+package ngram
+
+import (
+	"fmt"
+	"sort"
+
+	"simsearch/internal/edit"
+	"simsearch/internal/filter"
+)
+
+// Match is one search result.
+type Match struct {
+	ID   int32
+	Dist int
+}
+
+// Index is a q-gram inverted index over a set of strings.
+type Index struct {
+	q        int
+	data     []string
+	postings map[string][]int32
+	short    []int32 // IDs of strings with fewer than q characters
+}
+
+// New builds an index with gram size q (q >= 1) over data; string i has
+// ID i. It panics if q < 1, which is a programming error.
+func New(q int, data []string) *Index {
+	if q < 1 {
+		panic(fmt.Sprintf("ngram: invalid gram size %d", q))
+	}
+	idx := &Index{
+		q:        q,
+		data:     data,
+		postings: make(map[string][]int32),
+	}
+	for i, s := range data {
+		id := int32(i)
+		if len(s) < q {
+			idx.short = append(idx.short, id)
+			continue
+		}
+		for j := 0; j+q <= len(s); j++ {
+			// Multiplicity is kept: the count filter is a multiset bound.
+			g := s[j : j+q]
+			idx.postings[g] = append(idx.postings[g], id)
+		}
+	}
+	return idx
+}
+
+// Q returns the gram size.
+func (idx *Index) Q() int { return idx.q }
+
+// Len returns the dataset size.
+func (idx *Index) Len() int { return len(idx.data) }
+
+// Grams returns the number of distinct q-grams in the index.
+func (idx *Index) Grams() int { return len(idx.postings) }
+
+// Search returns every string within edit distance k of q, sorted by ID.
+func (idx *Index) Search(q string, k int) []Match {
+	if k < 0 {
+		return nil
+	}
+	var scratch edit.Scratch
+	counts := make(map[int32]int)
+	if len(q) >= idx.q {
+		for j := 0; j+idx.q <= len(q); j++ {
+			for _, id := range idx.postings[q[j:j+idx.q]] {
+				counts[id]++
+			}
+		}
+	}
+	var out []Match
+	verify := func(id int32) {
+		if d, ok := scratch.BoundedDistance(q, idx.data[id], k); ok {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	seen := make(map[int32]bool)
+	for id, shared := range counts {
+		bound := filter.QGramCountBound(len(q), len(idx.data[id]), idx.q, k)
+		if shared >= bound {
+			seen[id] = true
+			verify(id)
+		}
+	}
+	// Strings with fewer than q characters never enter the posting lists;
+	// they must always be verified. Symmetrically, if the *query* is shorter
+	// than q or the count bound is non-positive for some length, candidates
+	// may be missed by counting alone — in that regime fall back to scanning
+	// the affected length range.
+	for _, id := range idx.short {
+		if !seen[id] {
+			seen[id] = true
+			verify(id)
+		}
+	}
+	if len(q) < idx.q || minCountBoundNonPositive(len(q), idx.q, k) {
+		// The count filter is vacuous for data strings whose length makes
+		// the bound <= 0; scan all not-yet-seen strings in that regime.
+		for i := range idx.data {
+			id := int32(i)
+			if seen[id] {
+				continue
+			}
+			if filter.QGramCountBound(len(q), len(idx.data[i]), idx.q, k) <= 0 {
+				verify(id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// minCountBoundNonPositive reports whether there exists a data length for
+// which the count bound can be <= 0 given the query length: since the bound
+// grows with max(la, lb), it is minimized when the data string is no longer
+// than the query, giving lq - q + 1 - k*q.
+func minCountBoundNonPositive(lq, q, k int) bool {
+	return lq-q+1-k*q <= 0
+}

@@ -1,0 +1,111 @@
+package ngram
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func scanRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich", "be"}
+	idx := New(2, data)
+	if idx.Q() != 2 || idx.Len() != 6 {
+		t.Errorf("Q=%d Len=%d", idx.Q(), idx.Len())
+	}
+	if idx.Grams() == 0 {
+		t.Error("no grams indexed")
+	}
+	for _, q := range []string{"berlin", "bern", "x", "", "berlinx"} {
+		for k := 0; k <= 3; k++ {
+			got := idx.Search(q, k)
+			want := scanRef(data, q, k)
+			if !equalMatches(got, want) {
+				t.Errorf("Search(%q, %d) = %v, want %v", q, k, got, want)
+			}
+		}
+	}
+}
+
+func TestShortStringsAlwaysVerified(t *testing.T) {
+	// Strings shorter than q have no grams but must still be found.
+	data := []string{"a", "ab", "abc", ""}
+	idx := New(3, data)
+	got := idx.Search("ab", 1)
+	want := scanRef(data, "ab", 1)
+	if !equalMatches(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestInvalidQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("q=0 did not panic")
+		}
+	}()
+	New(0, nil)
+}
+
+func TestNegativeK(t *testing.T) {
+	idx := New(2, []string{"ab"})
+	if got := idx.Search("ab", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickAgreesWithScan(t *testing.T) {
+	for _, q := range []int{1, 2, 3} {
+		q := q
+		fn := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(50)
+			data := make([]string, n)
+			for i := range data {
+				data[i] = randomString(r, "ACGNT", 14)
+			}
+			idx := New(q, data)
+			query := randomString(r, "ACGNT", 14)
+			k := r.Intn(5)
+			return equalMatches(idx.Search(query, k), scanRef(data, query, k))
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package ngram
+
+import (
+	"fmt"
+	"sort"
+
+	"simsearch/internal/edit"
+	"simsearch/internal/filter"
+)
+
+// Positional is the position-aware variant of the q-gram index. Each posting
+// records where the gram occurs; a gram occurrence in the query only counts
+// towards a candidate when the positions differ by at most k, because the
+// alignment of an edit-distance-k match shifts any unedited substring by at
+// most k positions. The same count bound then prunes far more candidates
+// than the positionless index, at the cost of larger postings.
+type Positional struct {
+	q        int
+	data     []string
+	postings map[string][]posting
+	short    []int32
+}
+
+type posting struct {
+	id  int32
+	pos int32
+}
+
+// NewPositional builds a positional q-gram index. It panics if q < 1.
+func NewPositional(q int, data []string) *Positional {
+	if q < 1 {
+		panic(fmt.Sprintf("ngram: invalid gram size %d", q))
+	}
+	idx := &Positional{q: q, data: data, postings: make(map[string][]posting)}
+	for i, s := range data {
+		id := int32(i)
+		if len(s) < q {
+			idx.short = append(idx.short, id)
+			continue
+		}
+		for j := 0; j+q <= len(s); j++ {
+			g := s[j : j+q]
+			idx.postings[g] = append(idx.postings[g], posting{id: id, pos: int32(j)})
+		}
+	}
+	return idx
+}
+
+// Q returns the gram size.
+func (idx *Positional) Q() int { return idx.q }
+
+// Len returns the dataset size.
+func (idx *Positional) Len() int { return len(idx.data) }
+
+// Search returns every string within edit distance k of q, sorted by ID.
+func (idx *Positional) Search(q string, k int) []Match {
+	if k < 0 {
+		return nil
+	}
+	var scratch edit.Scratch
+	counts := make(map[int32]int)
+	if len(q) >= idx.q {
+		for j := 0; j+idx.q <= len(q); j++ {
+			for _, p := range idx.postings[q[j:j+idx.q]] {
+				d := int(p.pos) - j
+				if d < 0 {
+					d = -d
+				}
+				if d <= k {
+					counts[p.id]++
+				}
+			}
+		}
+	}
+	var out []Match
+	verify := func(id int32) {
+		if d, ok := scratch.BoundedDistance(q, idx.data[id], k); ok {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	seen := make(map[int32]bool)
+	for id, shared := range counts {
+		if shared >= filter.QGramCountBound(len(q), len(idx.data[id]), idx.q, k) {
+			seen[id] = true
+			verify(id)
+		}
+	}
+	for _, id := range idx.short {
+		if !seen[id] {
+			seen[id] = true
+			verify(id)
+		}
+	}
+	if len(q) < idx.q || minCountBoundNonPositive(len(q), idx.q, k) {
+		for i := range idx.data {
+			id := int32(i)
+			if seen[id] {
+				continue
+			}
+			if filter.QGramCountBound(len(q), len(idx.data[i]), idx.q, k) <= 0 {
+				verify(id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CandidateCount reports how many candidates the count filter admits for a
+// query without verifying them — used to compare filter strength against the
+// positionless index.
+func (idx *Positional) CandidateCount(q string, k int) int {
+	if k < 0 {
+		return 0
+	}
+	counts := make(map[int32]int)
+	if len(q) >= idx.q {
+		for j := 0; j+idx.q <= len(q); j++ {
+			for _, p := range idx.postings[q[j:j+idx.q]] {
+				d := int(p.pos) - j
+				if d < 0 {
+					d = -d
+				}
+				if d <= k {
+					counts[p.id]++
+				}
+			}
+		}
+	}
+	n := 0
+	for id, shared := range counts {
+		if shared >= filter.QGramCountBound(len(q), len(idx.data[id]), idx.q, k) {
+			n++
+		}
+	}
+	return n
+}

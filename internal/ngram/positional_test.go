@@ -1,0 +1,105 @@
+package ngram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionalBasicSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich", "be"}
+	idx := NewPositional(2, data)
+	if idx.Q() != 2 || idx.Len() != 6 {
+		t.Errorf("Q=%d Len=%d", idx.Q(), idx.Len())
+	}
+	for _, q := range []string{"berlin", "bern", "x", "", "nilreb"} {
+		for k := 0; k <= 3; k++ {
+			got := idx.Search(q, k)
+			want := scanRef(data, q, k)
+			if !equalMatches(got, want) {
+				t.Errorf("Search(%q, %d) = %v, want %v", q, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPositionalPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("q=0 did not panic")
+		}
+	}()
+	NewPositional(0, nil)
+}
+
+func TestPositionalNegativeK(t *testing.T) {
+	idx := NewPositional(2, []string{"ab"})
+	if got := idx.Search("ab", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+	if got := idx.CandidateCount("ab", -1); got != 0 {
+		t.Errorf("CandidateCount k=-1 = %d", got)
+	}
+}
+
+func TestPositionalFilterIsStronger(t *testing.T) {
+	// A string sharing the same grams at wildly different positions must be
+	// admitted by the positionless filter but rejected by the positional
+	// one.
+	data := []string{
+		"abxxxxxxxxxxxxxxxxxxxxxxxxxxab", // "ab" at 0 and 28
+	}
+	plain := New(2, data)
+	positional := NewPositional(2, data)
+	q := "xxxxxxxxxxxxxxxxxxxxxxxxxxxxab" // same length, "ab" at the end
+	k := 1
+	// Both must agree on the final (verified) answer.
+	if !equalMatches(plain.Search(q, k), positional.Search(q, k)) {
+		t.Fatal("indexes disagree on results")
+	}
+	// The positional candidate count can never exceed the positionless one.
+	if positional.CandidateCount(q, k) > 1 {
+		t.Errorf("positional candidates = %d", positional.CandidateCount(q, k))
+	}
+}
+
+func TestQuickPositionalAgreesWithScan(t *testing.T) {
+	for _, q := range []int{1, 2, 3} {
+		q := q
+		fn := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(50)
+			data := make([]string, n)
+			for i := range data {
+				data[i] = randomString(r, "ACGNT", 14)
+			}
+			idx := NewPositional(q, data)
+			query := randomString(r, "ACGNT", 14)
+			k := r.Intn(5)
+			return equalMatches(idx.Search(query, k), scanRef(data, query, k))
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestQuickPositionalNeverAdmitsMore(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ab", 12)
+		}
+		plain := New(2, data)
+		positional := NewPositional(2, data)
+		query := randomString(r, "ab", 12)
+		k := r.Intn(4)
+		// Results identical; positional candidates a subset in count.
+		return equalMatches(plain.Search(query, k), positional.Search(query, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

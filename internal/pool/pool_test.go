@@ -1,0 +1,175 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// checkRunsAll verifies that a Runner invokes task(i) exactly once for every
+// index and actually waits for completion before returning.
+func checkRunsAll(t *testing.T, r Runner, n int) {
+	t.Helper()
+	counts := make([]int64, n)
+	r.Run(n, func(i int) {
+		atomic.AddInt64(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("%s: task %d ran %d times, want 1", r.Name(), i, c)
+		}
+	}
+}
+
+func TestSerialRunsAll(t *testing.T) {
+	checkRunsAll(t, Serial{}, 100)
+	checkRunsAll(t, Serial{}, 0)
+	checkRunsAll(t, Serial{}, 1)
+}
+
+func TestSerialOrdered(t *testing.T) {
+	var seen []int
+	Serial{}.Run(5, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order broken: %v", seen)
+		}
+	}
+}
+
+func TestPerTaskRunsAll(t *testing.T) {
+	checkRunsAll(t, PerTask{}, 64)
+	checkRunsAll(t, PerTask{}, 0)
+}
+
+func TestPerTaskIsConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var cur, peak int
+	PerTask{}.Run(16, func(i int) {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		cur--
+		mu.Unlock()
+	})
+	if peak < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak)
+	}
+}
+
+func TestFixedRunsAll(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 32} {
+		checkRunsAll(t, Fixed{Workers: w}, 200)
+	}
+	checkRunsAll(t, Fixed{Workers: 4}, 0)
+	checkRunsAll(t, Fixed{Workers: 0}, 50) // defaults to GOMAXPROCS
+	checkRunsAll(t, Fixed{Workers: 100}, 3)
+}
+
+func TestFixedBoundsConcurrency(t *testing.T) {
+	var cur, peak int64
+	Fixed{Workers: 3}.Run(60, func(i int) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+	})
+	if peak > 3 {
+		t.Errorf("peak concurrency = %d, want <= 3", peak)
+	}
+}
+
+func TestFixedName(t *testing.T) {
+	if got := (Fixed{Workers: 8}).Name(); got != "fixed-8" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (Fixed{Workers: 32}).Name(); got != "fixed-32" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestAdaptiveRunsAll(t *testing.T) {
+	a := &Adaptive{Min: 1, Max: 8, Interval: 200 * time.Microsecond}
+	checkRunsAll(t, a, 500)
+	checkRunsAll(t, a, 1)
+	checkRunsAll(t, a, 0)
+}
+
+func TestAdaptiveScalesUpUnderLoad(t *testing.T) {
+	a := &Adaptive{Min: 1, Max: 8, Interval: 100 * time.Microsecond}
+	a.Run(64, func(i int) { time.Sleep(2 * time.Millisecond) })
+	if a.Peak() < 2 {
+		t.Errorf("Peak = %d, want >= 2 under sustained load", a.Peak())
+	}
+	if a.Peak() > 8 {
+		t.Errorf("Peak = %d exceeds Max 8", a.Peak())
+	}
+}
+
+func TestAdaptiveRespectsMax(t *testing.T) {
+	a := &Adaptive{Min: 2, Max: 3, Interval: 50 * time.Microsecond}
+	var cur, peak int64
+	a.Run(100, func(i int) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+		atomic.AddInt64(&cur, -1)
+	})
+	if peak > 3 {
+		t.Errorf("observed concurrency %d exceeds Max 3", peak)
+	}
+}
+
+func TestAdaptiveDefaultThresholds(t *testing.T) {
+	// Zero-valued config must still complete (defaults applied).
+	a := &Adaptive{}
+	checkRunsAll(t, a, 64)
+}
+
+func TestAdaptiveReusable(t *testing.T) {
+	a := &Adaptive{Min: 1, Max: 4, Interval: 100 * time.Microsecond}
+	for round := 0; round < 3; round++ {
+		checkRunsAll(t, a, 100)
+	}
+}
+
+func TestRunnersWithPanicSafety(t *testing.T) {
+	// A panicking task must not deadlock the Fixed pool's sibling workers;
+	// we only check that non-panicking indices all run when no panic occurs.
+	// (Panic propagation is intentionally undefined, as with raw goroutines.)
+	checkRunsAll(t, Fixed{Workers: 4}, 37)
+}
+
+func TestRunnerNames(t *testing.T) {
+	if (Serial{}).Name() != "serial" || (PerTask{}).Name() != "per-task" {
+		t.Error("runner names wrong")
+	}
+	if (&Adaptive{}).Name() != "adaptive" {
+		t.Error("adaptive name wrong")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1000: "1000", -3: "-3"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

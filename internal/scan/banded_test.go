@@ -1,0 +1,25 @@
+package scan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBandedKernelEquivalence pins that WithBandedKernel changes only speed,
+// never results, across every rung it applies to.
+func TestBandedKernelEquivalence(t *testing.T) {
+	queries := []Query{
+		{"berlin", 0}, {"berlin", 2}, {"bxrlin", 1}, {"", 2}, {"magdeburg", 3},
+	}
+	for _, s := range []Strategy{FastED, References, SimpleTypes, ParallelManaged} {
+		paper := New(cities, WithStrategy(s), WithWorkers(2))
+		banded := New(cities, WithStrategy(s), WithWorkers(2), WithBandedKernel())
+		for _, q := range queries {
+			a := paper.Search(q)
+			b := banded.Search(q)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("strategy %v query %+v: paper %v != banded %v", s, q, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package suffix
+
+// Exact-search conveniences and the LCP array. Navarro et al. (the paper's
+// §2.3 related work) motivate the suffix array as a bounded-size substitute
+// for a suffix tree; the LCP array is what upgrades it to near-tree
+// functionality (longest repeats, common-prefix statistics) and is built
+// here with Kasai's O(n) algorithm.
+
+// Count returns the number of occurrences of pattern as a substring of the
+// concatenated data (occurrences never span string boundaries because the
+// separator byte 0 cannot appear in a pattern drawn from real strings).
+func (idx *Index) Count(pattern string) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	lo, hi := idx.lookupRange([]byte(pattern))
+	return hi - lo
+}
+
+// Locate returns the IDs of the strings containing pattern, deduplicated
+// and sorted ascending.
+func (idx *Index) Locate(pattern string) []int32 {
+	if len(pattern) == 0 {
+		return nil
+	}
+	lo, hi := idx.lookupRange([]byte(pattern))
+	if lo == hi {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for i := lo; i < hi; i++ {
+		id := idx.ownerOf(idx.sa[i])
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sortInt32s(out)
+	return out
+}
+
+// Contains reports whether any stored string contains pattern.
+func (idx *Index) Contains(pattern string) bool {
+	return idx.Count(pattern) > 0
+}
+
+// LCP returns the longest-common-prefix array: lcp[i] is the length of the
+// common prefix of the suffixes sa[i-1] and sa[i] (lcp[0] = 0). Built with
+// Kasai's algorithm in O(n).
+func (idx *Index) LCP() []int32 {
+	n := len(idx.text)
+	lcp := make([]int32, n)
+	rank := make([]int32, n)
+	for i, s := range idx.sa {
+		rank[s] = int32(i)
+	}
+	h := 0
+	for i := 0; i < n; i++ {
+		if rank[i] == 0 {
+			h = 0
+			continue
+		}
+		j := int(idx.sa[rank[i]-1])
+		for i+h < n && j+h < n && idx.text[i+h] == idx.text[j+h] && idx.text[i+h] != 0 {
+			h++
+		}
+		lcp[rank[i]] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// LongestRepeat returns a longest substring that occurs at least twice in
+// the concatenated data (never spanning string boundaries), or "" if all
+// characters are unique. Useful as a corpus-redundancy statistic: the DNA
+// workload's effectiveness for the trie stems from long repeats.
+func (idx *Index) LongestRepeat() string {
+	lcp := idx.LCP()
+	best, at := int32(0), -1
+	for i, v := range lcp {
+		if v > best {
+			best, at = v, i
+		}
+	}
+	if at < 0 {
+		return ""
+	}
+	start := idx.sa[at]
+	return string(idx.text[start : start+best])
+}
+
+func sortInt32s(v []int32) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}

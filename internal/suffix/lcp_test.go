@@ -1,0 +1,127 @@
+package suffix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountAndLocate(t *testing.T) {
+	idx := New([]string{"banana", "bandana", "nab"})
+	if got := idx.Count("ana"); got != 3 { // 2 in banana, 1 in bandana
+		t.Errorf("Count(ana) = %d, want 3", got)
+	}
+	if got := idx.Count("zzz"); got != 0 {
+		t.Errorf("Count(zzz) = %d", got)
+	}
+	if got := idx.Count(""); got != 0 {
+		t.Errorf("Count(empty) = %d", got)
+	}
+	if got := idx.Locate("ana"); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("Locate(ana) = %v", got)
+	}
+	if got := idx.Locate("nab"); !reflect.DeepEqual(got, []int32{2}) {
+		t.Errorf("Locate(nab) = %v", got)
+	}
+	if got := idx.Locate("zzz"); got != nil {
+		t.Errorf("Locate(zzz) = %v", got)
+	}
+	if !idx.Contains("band") || idx.Contains("bandit") {
+		t.Error("Contains broken")
+	}
+}
+
+func TestLCPKasai(t *testing.T) {
+	idx := New([]string{"banana"})
+	lcp := idx.LCP()
+	// Verify against the definition.
+	for i := 1; i < len(idx.sa); i++ {
+		a := idx.text[idx.sa[i-1]:]
+		b := idx.text[idx.sa[i]:]
+		want := 0
+		for want < len(a) && want < len(b) && a[want] == b[want] && a[want] != 0 {
+			want++
+		}
+		if int(lcp[i]) != want {
+			t.Errorf("lcp[%d] = %d, want %d", i, lcp[i], want)
+		}
+	}
+	if lcp[0] != 0 {
+		t.Errorf("lcp[0] = %d", lcp[0])
+	}
+}
+
+func TestQuickLCPDefinition(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ab", 10)
+		}
+		idx := New(data)
+		lcp := idx.LCP()
+		for i := 1; i < len(idx.sa); i++ {
+			a := idx.text[idx.sa[i-1]:]
+			b := idx.text[idx.sa[i]:]
+			want := 0
+			for want < len(a) && want < len(b) && a[want] == b[want] && a[want] != 0 {
+				want++
+			}
+			if int(lcp[i]) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongestRepeat(t *testing.T) {
+	idx := New([]string{"abcabc"})
+	if got := idx.LongestRepeat(); got != "abc" {
+		t.Errorf("LongestRepeat = %q, want abc", got)
+	}
+	// Repeat across two strings.
+	idx = New([]string{"xhello", "yhello"})
+	if got := idx.LongestRepeat(); got != "hello" {
+		t.Errorf("LongestRepeat = %q, want hello", got)
+	}
+	idx = New([]string{"abc"})
+	if got := idx.LongestRepeat(); got != "" {
+		t.Errorf("LongestRepeat of unique text = %q", got)
+	}
+}
+
+func TestQuickCountMatchesStringsCount(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abc", 12)
+		}
+		idx := New(data)
+		pat := randomString(r, "abc", 4)
+		if pat == "" {
+			return idx.Count(pat) == 0
+		}
+		// Count all (overlapping) occurrences manually; strings.Count
+		// would miss overlaps.
+		want := 0
+		for _, s := range data {
+			for off := 0; off+len(pat) <= len(s); off++ {
+				if s[off:off+len(pat)] == pat {
+					want++
+				}
+			}
+		}
+		return idx.Count(pat) == want
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

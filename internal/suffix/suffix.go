@@ -1,0 +1,186 @@
+// Package suffix implements the related-work baseline of Navarro et al. as
+// described in the paper's §2.3: a suffix array over the concatenated data
+// (bounded size, unlike a suffix tree), combined with query partitioning to
+// avoid the exponential dependence of approximate search on k.
+//
+// Partitioning rests on the pigeonhole principle: if ed(q, x) <= k and q is
+// split into k+1 contiguous pieces, at least one piece appears *exactly*
+// (unedited) inside x. The search therefore:
+//
+//  1. splits the query into k+1 pieces,
+//  2. finds every exact occurrence of each piece in the concatenated text
+//     via suffix-array binary search,
+//  3. maps occurrences back to their source strings, and
+//  4. verifies each candidate string with the bounded edit distance.
+//
+// The suffix array is built with the prefix-doubling algorithm
+// (Manber–Myers, O(n log n) rounds of radix-free sorting via sort.Slice).
+package suffix
+
+import (
+	"sort"
+
+	"simsearch/internal/edit"
+)
+
+// Match is one search result.
+type Match struct {
+	ID   int32
+	Dist int
+}
+
+// Index is a suffix-array-backed approximate string searcher.
+type Index struct {
+	data []string
+	text []byte  // data joined with 0x00 separators
+	sa   []int32 // suffix array of text
+	ends []int32 // ends[i] = offset one past string i in text
+}
+
+// New builds the index over data; string i has ID i.
+func New(data []string) *Index {
+	idx := &Index{data: data}
+	total := 0
+	for _, s := range data {
+		total += len(s) + 1
+	}
+	idx.text = make([]byte, 0, total)
+	idx.ends = make([]int32, len(data))
+	for i, s := range data {
+		idx.text = append(idx.text, s...)
+		idx.text = append(idx.text, 0) // separator, sorts before everything
+		idx.ends[i] = int32(len(idx.text))
+	}
+	idx.sa = buildSA(idx.text)
+	return idx
+}
+
+// buildSA constructs the suffix array by prefix doubling.
+func buildSA(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(text[i])
+	}
+	for h := 1; ; h *= 2 {
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+h < n {
+				second = rank[int(i)+h]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			tmp[sa[i]] = tmp[sa[i-1]]
+			r1a, r2a := key(sa[i-1])
+			r1b, r2b := key(sa[i])
+			if r1a != r1b || r2a != r2b {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+	}
+	return sa
+}
+
+// Len returns the dataset size.
+func (idx *Index) Len() int { return len(idx.data) }
+
+// lookupRange returns the suffix-array interval of suffixes starting with
+// pattern.
+func (idx *Index) lookupRange(pattern []byte) (int, int) {
+	n := len(idx.sa)
+	lo := sort.Search(n, func(i int) bool {
+		return compareSuffix(idx.text, int(idx.sa[i]), pattern) >= 0
+	})
+	hi := sort.Search(n, func(i int) bool {
+		return compareSuffix(idx.text, int(idx.sa[i]), pattern) > 0
+	})
+	return lo, hi
+}
+
+// compareSuffix compares text[off:] against pattern, treating pattern as a
+// prefix probe: a suffix that starts with pattern compares equal.
+func compareSuffix(text []byte, off int, pattern []byte) int {
+	s := text[off:]
+	if len(s) > len(pattern) {
+		s = s[:len(pattern)]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != pattern[i] {
+			if s[i] < pattern[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(s) < len(pattern) {
+		return -1
+	}
+	return 0
+}
+
+// ownerOf maps a text offset to the ID of the string containing it, using
+// binary search over the end offsets. Separator positions belong to the
+// string they terminate.
+func (idx *Index) ownerOf(off int32) int32 {
+	return int32(sort.Search(len(idx.ends), func(i int) bool {
+		return idx.ends[i] > off
+	}))
+}
+
+// Search returns every string within edit distance k of q, sorted by ID.
+func (idx *Index) Search(q string, k int) []Match {
+	if k < 0 {
+		return nil
+	}
+	var out []Match
+	var scratch edit.Scratch
+	verify := func(id int32) {
+		if d, ok := scratch.BoundedDistance(q, idx.data[id], k); ok {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	if len(q) <= k {
+		// Pieces would be empty: every string of length <= len(q)+k is a
+		// candidate. Fall back to verifying everything; the verification
+		// itself is bounded and cheap at these tiny lengths.
+		for i := range idx.data {
+			verify(int32(i))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	// Split q into k+1 nonempty contiguous pieces of near-equal length.
+	pieces := k + 1
+	candidates := make(map[int32]bool)
+	for p := 0; p < pieces; p++ {
+		start := p * len(q) / pieces
+		end := (p + 1) * len(q) / pieces
+		piece := []byte(q[start:end])
+		lo, hi := idx.lookupRange(piece)
+		for i := lo; i < hi; i++ {
+			candidates[idx.ownerOf(idx.sa[i])] = true
+		}
+	}
+	for id := range candidates {
+		verify(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

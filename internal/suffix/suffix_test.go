@@ -1,0 +1,151 @@
+package suffix
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func scanRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSuffixArrayIsSorted(t *testing.T) {
+	idx := New([]string{"banana", "bandana"})
+	for i := 1; i < len(idx.sa); i++ {
+		a := string(idx.text[idx.sa[i-1]:])
+		b := string(idx.text[idx.sa[i]:])
+		if a > b {
+			t.Fatalf("suffix array unsorted at %d: %q > %q", i, a, b)
+		}
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	idx := New([]string{"banana"})
+	lo, hi := idx.lookupRange([]byte("ana"))
+	if hi-lo != 2 {
+		t.Errorf("occurrences of 'ana' = %d, want 2", hi-lo)
+	}
+	lo, hi = idx.lookupRange([]byte("zzz"))
+	if hi != lo {
+		t.Errorf("occurrences of 'zzz' = %d, want 0", hi-lo)
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	idx := New([]string{"ab", "cde", ""})
+	// text = "ab\x00cde\x00\x00"; offsets: a=0,b=1,sep=2,c=3,d=4,e=5,sep=6,sep=7
+	cases := map[int32]int32{0: 0, 1: 0, 2: 0, 3: 1, 5: 1, 6: 1, 7: 2}
+	for off, want := range cases {
+		if got := idx.ownerOf(off); got != want {
+			t.Errorf("ownerOf(%d) = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestBasicSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich", ""}
+	idx := New(data)
+	if idx.Len() != 6 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	for _, q := range []string{"berlin", "bern", "x", "", "berlinx", "ulm"} {
+		for k := 0; k <= 3; k++ {
+			got := idx.Search(q, k)
+			want := scanRef(data, q, k)
+			if !equalMatches(got, want) {
+				t.Errorf("Search(%q, %d) = %v, want %v", q, k, got, want)
+			}
+		}
+	}
+}
+
+func TestShortQueryFallback(t *testing.T) {
+	// len(q) <= k: pieces would be empty, exhaustive verification kicks in.
+	data := []string{"a", "ab", "abc", "abcd", ""}
+	idx := New(data)
+	got := idx.Search("ab", 3)
+	want := scanRef(data, "ab", 3)
+	if !equalMatches(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	idx := New([]string{"ab"})
+	if got := idx.Search("ab", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickAgreesWithScan(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ACGT", 12)
+		}
+		idx := New(data)
+		q := randomString(r, "ACGT", 12)
+		k := r.Intn(4)
+		return equalMatches(idx.Search(q, k), scanRef(data, q, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNARegime(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	genome := randomString(r, "ACGT", 3000)
+	for len(genome) < 500 {
+		genome = randomString(r, "ACGT", 3000)
+	}
+	var data []string
+	for i := 0; i+100 <= len(genome) && len(data) < 100; i += 11 {
+		data = append(data, genome[i:i+100])
+	}
+	idx := New(data)
+	q := data[len(data)/3]
+	for _, k := range []int{0, 4, 8} {
+		got := idx.Search(q, k)
+		want := scanRef(data, q, k)
+		if !equalMatches(got, want) {
+			t.Errorf("k=%d: got %d, want %d matches", k, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	data := []string{"berlin", "bern", "ulm"}
+	tr := Build(data)
+	if !tr.Contains("bern", 1) {
+		t.Fatal("Contains(bern, 1) = false before delete")
+	}
+	if !tr.Delete("bern", 1) {
+		t.Fatal("Delete(bern, 1) = false")
+	}
+	if tr.Contains("bern", 1) {
+		t.Error("bern still present after delete")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if got := tr.Search("bern", 0); len(got) != 0 {
+		t.Errorf("Search found deleted string: %v", got)
+	}
+	// Other strings unaffected.
+	if got := tr.Search("berlin", 0); len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("berlin lost: %v", got)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := Build([]string{"abc"})
+	if tr.Delete("abd", 0) {
+		t.Error("deleted a string that was never inserted")
+	}
+	if tr.Delete("abc", 99) {
+		t.Error("deleted a wrong-ID pair")
+	}
+	if tr.Delete("ab", 0) {
+		t.Error("deleted a proper prefix")
+	}
+	if tr.Delete("abcd", 0) {
+		t.Error("deleted an extension")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len changed: %d", tr.Len())
+	}
+}
+
+func TestDeletePrunesNodes(t *testing.T) {
+	tr := Build([]string{"abc", "abd"})
+	before := tr.NodeCount() // root + a + b + c + d = 5
+	if !tr.Delete("abc", 0) {
+		t.Fatal("delete failed")
+	}
+	if tr.NodeCount() != before-1 {
+		t.Errorf("NodeCount = %d, want %d", tr.NodeCount(), before-1)
+	}
+	// Deleting the last string under a chain prunes the whole chain.
+	if !tr.Delete("abd", 1) {
+		t.Fatal("delete failed")
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("NodeCount = %d, want 1 (root only)", tr.NodeCount())
+	}
+}
+
+func TestDeleteSharedPrefixKeepsBranch(t *testing.T) {
+	tr := Build([]string{"ab", "abc"})
+	if !tr.Delete("abc", 1) {
+		t.Fatal("delete failed")
+	}
+	if !tr.Contains("ab", 0) {
+		t.Error("shorter string lost")
+	}
+	// Deleting the terminal in the middle keeps the longer string.
+	tr = Build([]string{"ab", "abc"})
+	if !tr.Delete("ab", 0) {
+		t.Fatal("delete failed")
+	}
+	if !tr.Contains("abc", 1) {
+		t.Error("longer string lost")
+	}
+}
+
+func TestDeleteOnCompressedTree(t *testing.T) {
+	tr := Build([]string{"berlin", "bern", "ulm"})
+	tr.Compress()
+	nodes := tr.NodeCount()
+	if !tr.Delete("ulm", 2) {
+		t.Fatal("delete on compressed tree failed")
+	}
+	if tr.Contains("ulm", 2) {
+		t.Error("ulm still present")
+	}
+	if tr.NodeCount() != nodes {
+		t.Error("compressed tree structure changed")
+	}
+	if got := tr.Search("ulm", 0); len(got) != 0 {
+		t.Errorf("Search found deleted string: %v", got)
+	}
+}
+
+func TestDeleteEmptyString(t *testing.T) {
+	tr := Build([]string{"", "a"})
+	if !tr.Delete("", 0) {
+		t.Fatal("delete of empty string failed")
+	}
+	if got := tr.Search("", 0); len(got) != 0 {
+		t.Errorf("empty string still found: %v", got)
+	}
+}
+
+func TestQuickDeleteThenSearchConsistent(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ab", 6)
+		}
+		tr := Build(data)
+		// Delete a random half.
+		deleted := map[int32]bool{}
+		for i := 0; i < n/2; i++ {
+			id := int32(r.Intn(n))
+			if deleted[id] {
+				continue
+			}
+			if !tr.Delete(data[id], id) {
+				return false
+			}
+			deleted[id] = true
+		}
+		// Remaining strings must be exactly the non-deleted ones.
+		var remaining []string
+		idOf := map[int32]string{}
+		for i, s := range data {
+			if !deleted[int32(i)] {
+				remaining = append(remaining, s)
+				idOf[int32(i)] = s
+			}
+		}
+		q := randomString(r, "ab", 6)
+		k := r.Intn(3)
+		got := tr.Search(q, k)
+		for _, m := range got {
+			if deleted[m.ID] {
+				return false // deleted string surfaced
+			}
+		}
+		want := 0
+		for i, s := range data {
+			if !deleted[int32(i)] && withinRef(q, s, k) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func withinRef(a, b string, k int) bool {
+	return distRefLocal(a, b) <= k
+}
+
+func distRefLocal(a, b string) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i
+		for j := 1; j <= lb; j++ {
+			if a[i-1] == b[j-1] {
+				curr[j] = prev[j-1]
+			} else {
+				v := prev[j]
+				if curr[j-1] < v {
+					v = curr[j-1]
+				}
+				if prev[j-1] < v {
+					v = prev[j-1]
+				}
+				curr[j] = v + 1
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[lb]
+}

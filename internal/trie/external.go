@@ -1,0 +1,265 @@
+package trie
+
+// External-suffix tree: the PETER design from the paper's §2.3 related work
+// (Rheinländer et al.). A plain prefix tree over long strings spends most of
+// its nodes on unique tails that never branch. PETER therefore keeps only a
+// shallow tree in memory and stores long suffixes out of the tree — in a
+// file — so the hot structure stays cache- and RAM-resident.
+//
+// ExternalTree builds the prefix tree over the first CutDepth bytes of every
+// string; the remaining tail goes into an Arena (in-memory or file-backed).
+// Search descends the tree with banded DP rows exactly like the modern Tree
+// and, at each terminal entry, continues the same row over the tail bytes
+// fetched from the arena, aborting as soon as the row minimum exceeds k.
+// Results are identical to the in-memory tree on the same data.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"simsearch/internal/edit"
+)
+
+// Arena stores suffix bytes out of the tree.
+type Arena interface {
+	// Append stores b and returns its offset.
+	Append(b []byte) (int64, error)
+	// Bytes returns the n bytes at offset off. The returned slice is only
+	// valid until the next call.
+	Bytes(off int64, n int) ([]byte, error)
+}
+
+// MemArena is an in-memory arena (the degenerate case, useful for tests and
+// when the "file" should live on a ramdisk).
+type MemArena struct {
+	buf []byte
+}
+
+// Append implements Arena.
+func (m *MemArena) Append(b []byte) (int64, error) {
+	off := int64(len(m.buf))
+	m.buf = append(m.buf, b...)
+	return off, nil
+}
+
+// Bytes implements Arena.
+func (m *MemArena) Bytes(off int64, n int) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(len(m.buf)) {
+		return nil, fmt.Errorf("trie: arena read [%d, %d) out of bounds %d", off, off+int64(n), len(m.buf))
+	}
+	return m.buf[off : off+int64(n)], nil
+}
+
+// Size returns the stored byte count.
+func (m *MemArena) Size() int { return len(m.buf) }
+
+// FileArena stores suffixes in a file, reading them back with ReadAt
+// through a reusable buffer. It is what PETER does to keep the tree in main
+// memory while the corpus exceeds it.
+type FileArena struct {
+	f    *os.File
+	size int64
+	buf  []byte
+}
+
+// NewFileArena creates (truncates) the arena file.
+func NewFileArena(path string) (*FileArena, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileArena{f: f}, nil
+}
+
+// Append implements Arena.
+func (a *FileArena) Append(b []byte) (int64, error) {
+	off := a.size
+	if _, err := a.f.WriteAt(b, off); err != nil {
+		return 0, err
+	}
+	a.size += int64(len(b))
+	return off, nil
+}
+
+// Bytes implements Arena.
+func (a *FileArena) Bytes(off int64, n int) ([]byte, error) {
+	if cap(a.buf) < n {
+		a.buf = make([]byte, n)
+	}
+	buf := a.buf[:n]
+	if _, err := a.f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Size returns the stored byte count.
+func (a *FileArena) Size() int64 { return a.size }
+
+// Close closes the underlying file.
+func (a *FileArena) Close() error { return a.f.Close() }
+
+// tail is one externalized suffix hanging off a tree node.
+type tail struct {
+	id  int32
+	off int64
+	n   int32
+}
+
+// ExternalTree is the PETER-style index: a shallow in-memory tree plus an
+// arena of suffixes.
+type ExternalTree struct {
+	tree     *Tree // modern-pruning tree over the prefixes
+	arena    Arena
+	cutDepth int
+	tails    map[*node][]tail // suffixes per cut node
+	strCount int
+}
+
+// BuildExternal builds the index over data, cutting every string after
+// cutDepth bytes (cutDepth >= 1). Strings shorter than cutDepth live
+// entirely in the tree.
+func BuildExternal(data []string, cutDepth int, arena Arena) (*ExternalTree, error) {
+	if cutDepth < 1 {
+		return nil, fmt.Errorf("trie: cutDepth %d < 1", cutDepth)
+	}
+	if arena == nil {
+		arena = &MemArena{}
+	}
+	e := &ExternalTree{
+		tree:     New(WithModernPruning()),
+		arena:    arena,
+		cutDepth: cutDepth,
+		tails:    make(map[*node][]tail),
+	}
+	for i, s := range data {
+		if err := e.insert(s, int32(i)); err != nil {
+			return nil, err
+		}
+	}
+	// The tree stays uncompressed: path compression would merge away the
+	// nodes the tails hang off, and the whole structure is already bounded
+	// by cutDepth — which is the design's memory argument.
+	return e, nil
+}
+
+func (e *ExternalTree) insert(s string, id int32) error {
+	e.strCount++
+	if len(s) <= e.cutDepth {
+		e.tree.Insert(s, id)
+		return nil
+	}
+	prefix, suffix := s[:e.cutDepth], s[e.cutDepth:]
+	// Walk/extend the tree manually so we can attach the tail to the node.
+	n := e.tree.root
+	e.tree.absorb(n, len(s), nil)
+	for i := 0; i < len(prefix); i++ {
+		c := prefix[i]
+		child := findChild(n, c)
+		if child == nil {
+			child = &node{label: []byte{c}, minLen: 1<<31 - 1}
+			insertChild(n, child)
+			e.tree.nodeCount++
+		}
+		n = child
+		e.tree.absorb(n, len(s), nil)
+	}
+	off, err := e.arena.Append([]byte(suffix))
+	if err != nil {
+		return err
+	}
+	e.tails[n] = append(e.tails[n], tail{id: id, off: off, n: int32(len(suffix))})
+	return nil
+}
+
+// Len returns the number of indexed strings.
+func (e *ExternalTree) Len() int { return e.strCount }
+
+// NodeCount returns the in-memory node count.
+func (e *ExternalTree) NodeCount() int { return e.tree.nodeCount }
+
+// ResidentLabelBytes returns the label bytes held in memory — the design's
+// point of comparison: the full tree keeps every suffix byte resident, the
+// external tree only the first cutDepth bytes of each string.
+func (e *ExternalTree) ResidentLabelBytes() int { return e.tree.Stats().LabelBytes }
+
+// Search returns every string within edit distance k of q.
+func (e *ExternalTree) Search(q string, k int) ([]Match, error) {
+	if k < 0 {
+		return nil, nil
+	}
+	var out []Match
+	var firstErr error
+	s := &searcher{t: e.tree, q: q, k: k}
+	s.fn = func(id int32, dist int) {
+		out = append(out, Match{ID: id, Dist: dist})
+	}
+	// Root terminal (empty string).
+	if len(e.tree.root.ids) > 0 && len(q) <= k {
+		for _, id := range e.tree.root.ids {
+			s.fn(id, len(q))
+		}
+	}
+	row := edit.InitialBandRow(q, k, nil)
+	var descend func(n *node, parentRow []int, depth int)
+	descend = func(n *node, parentRow []int, depth int) {
+		if firstErr != nil || s.prune(n) {
+			return
+		}
+		r := parentRow
+		d := depth
+		for _, c := range n.label {
+			next, minV := edit.StepBandRow(q, r, c, d+1, k, s.rowAt(d+1))
+			r = next
+			d++
+			if minV > k {
+				return
+			}
+		}
+		if len(n.ids) > 0 {
+			if dist, ok := edit.BandRowDistance(r, d, len(q), k); ok {
+				for _, id := range n.ids {
+					s.fn(id, dist)
+				}
+			}
+		}
+		// Continue each externalized tail from the current row.
+		for _, tl := range e.tails[n] {
+			suffix, err := e.arena.Bytes(tl.off, int(tl.n))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			tr := r
+			td := d
+			alive := true
+			for _, c := range suffix {
+				next, minV := edit.StepBandRow(q, tr, c, td+1, k, s.rowAt(td+1))
+				tr = next
+				td++
+				if minV > k {
+					alive = false
+					break
+				}
+			}
+			if alive {
+				if dist, ok := edit.BandRowDistance(tr, td, len(q), k); ok {
+					s.fn(tl.id, dist)
+				}
+			}
+		}
+		for _, c := range n.children {
+			descend(c, r, d)
+		}
+	}
+	for _, c := range e.tree.root.children {
+		descend(c, row, 0)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

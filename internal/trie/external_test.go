@@ -1,0 +1,188 @@
+package trie
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemArena(t *testing.T) {
+	var a MemArena
+	off1, err := a.Append([]byte("hello"))
+	if err != nil || off1 != 0 {
+		t.Fatalf("Append: %d, %v", off1, err)
+	}
+	off2, _ := a.Append([]byte("world"))
+	if off2 != 5 {
+		t.Errorf("off2 = %d", off2)
+	}
+	b, err := a.Bytes(5, 5)
+	if err != nil || string(b) != "world" {
+		t.Errorf("Bytes = %q, %v", b, err)
+	}
+	if _, err := a.Bytes(8, 5); err == nil {
+		t.Error("out-of-bounds read accepted")
+	}
+	if a.Size() != 10 {
+		t.Errorf("Size = %d", a.Size())
+	}
+}
+
+func TestFileArena(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.bin")
+	a, err := NewFileArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	off, err := a.Append([]byte("ACGTACGT"))
+	if err != nil || off != 0 {
+		t.Fatalf("Append: %v", err)
+	}
+	off2, _ := a.Append([]byte("TTTT"))
+	if off2 != 8 || a.Size() != 12 {
+		t.Errorf("off2=%d size=%d", off2, a.Size())
+	}
+	b, err := a.Bytes(8, 4)
+	if err != nil || string(b) != "TTTT" {
+		t.Errorf("Bytes = %q, %v", b, err)
+	}
+	b, err = a.Bytes(0, 8)
+	if err != nil || string(b) != "ACGTACGT" {
+		t.Errorf("Bytes = %q, %v", b, err)
+	}
+}
+
+func TestBuildExternalValidation(t *testing.T) {
+	if _, err := BuildExternal([]string{"x"}, 0, nil); err == nil {
+		t.Error("cutDepth 0 accepted")
+	}
+}
+
+func TestExternalMatchesInMemory(t *testing.T) {
+	data := []string{
+		"berlin", "bern", "bonn", "magdeburg", "ulm", "",
+		"a", "magdeburgerstrasse", "magdalena",
+	}
+	ref := Build(data, WithModernPruning())
+	ref.Compress()
+	for _, cut := range []int{1, 2, 4, 8, 100} {
+		ext, err := BuildExternal(data, cut, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ext.Len() != len(data) {
+			t.Errorf("cut=%d Len=%d", cut, ext.Len())
+		}
+		for _, q := range []string{"berlin", "magdeburg", "magdeburk", "x", ""} {
+			for k := 0; k <= 3; k++ {
+				got, err := ext.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ref.Search(q, k)
+				if !equalMatches(got, want) {
+					t.Errorf("cut=%d Search(%q,%d) = %v, want %v", cut, q, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExternalWithFileArena(t *testing.T) {
+	data := []string{"magdeburg", "magdalena", "berlin", "bern"}
+	path := filepath.Join(t.TempDir(), "suffixes.bin")
+	arena, err := NewFileArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arena.Close()
+	ext, err := BuildExternal(data, 3, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Build(data)
+	for k := 0; k <= 2; k++ {
+		got, err := ext.Search("magdeburk", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalMatches(got, ref.Search("magdeburk", k)) {
+			t.Errorf("k=%d mismatch", k)
+		}
+	}
+	if arena.Size() == 0 {
+		t.Error("no suffixes externalized")
+	}
+}
+
+func TestExternalBoundsNodeCount(t *testing.T) {
+	// The in-memory node count must be bounded by the prefix space, far
+	// below what the full tree needs on long unique strings.
+	r := rand.New(rand.NewSource(17))
+	data := make([]string, 500)
+	for i := range data {
+		data[i] = randomString(r, "ACGT", 100)
+		for len(data[i]) < 60 {
+			data[i] = randomString(r, "ACGT", 100)
+		}
+	}
+	full := Build(data)
+	ext, err := BuildExternal(data, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NodeCount() >= full.NodeCount()/3 {
+		t.Errorf("external tree not smaller: %d vs full %d", ext.NodeCount(), full.NodeCount())
+	}
+}
+
+func TestExternalResidentLabelBytes(t *testing.T) {
+	data := []string{"abcdefghij", "abcdexxxxx"}
+	ext, err := BuildExternal(data, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 3-byte prefixes live in the tree: "abc" shared = 3 bytes.
+	if got := ext.ResidentLabelBytes(); got != 3 {
+		t.Errorf("ResidentLabelBytes = %d, want 3", got)
+	}
+}
+
+func TestExternalNegativeK(t *testing.T) {
+	ext, err := BuildExternal([]string{"abc"}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ext.Search("abc", -1)
+	if err != nil || got != nil {
+		t.Errorf("k=-1: %v, %v", got, err)
+	}
+}
+
+func TestQuickExternalAgreesWithScan(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ACGNT", 20)
+		}
+		cut := 1 + r.Intn(10)
+		ext, err := BuildExternal(data, cut, nil)
+		if err != nil {
+			return false
+		}
+		q := randomString(r, "ACGNT", 20)
+		k := r.Intn(5)
+		got, err := ext.Search(q, k)
+		if err != nil {
+			return false
+		}
+		return equalMatches(got, scanRef(data, q, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

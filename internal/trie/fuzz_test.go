@@ -1,0 +1,28 @@
+package trie
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadNeverPanics feeds arbitrary bytes to the index deserializer; it
+// must reject or accept, never crash or hang.
+func FuzzReadNeverPanics(f *testing.F) {
+	tr := Build([]string{"berlin", "bern", "ulm"})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SIMTRIE1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must behave like a tree.
+		got.Search("berlin", 2)
+		got.Stats()
+	})
+}

@@ -1,0 +1,62 @@
+package trie
+
+// Hamming-distance search over the same tree. The PETER index from the
+// paper's §2.3 related work supports both edit and Hamming distance; the
+// Hamming descent is dramatically cheaper than the DP descent because
+// positions stay aligned: a node at byte depth d compares its label bytes
+// against q[d:] and accumulates mismatches. Only strings of exactly len(q)
+// bytes can match, so the node length window prunes hard.
+
+// SearchHamming returns every stored string x with len(x) == len(q) and at
+// most k mismatching positions, sorted by ID order of discovery (callers
+// sort if needed).
+func (t *Tree) SearchHamming(q string, k int) []Match {
+	var out []Match
+	t.SearchHammingFunc(q, k, func(id int32, dist int) {
+		out = append(out, Match{ID: id, Dist: dist})
+	})
+	return out
+}
+
+// SearchHammingFunc streams the matches to fn.
+func (t *Tree) SearchHammingFunc(q string, k int, fn func(id int32, dist int)) {
+	if k < 0 {
+		return
+	}
+	// The empty string matches only an empty query.
+	if len(t.root.ids) > 0 && len(q) == 0 {
+		for _, id := range t.root.ids {
+			fn(id, 0)
+		}
+	}
+	var descend func(n *node, depth, mism int)
+	descend = func(n *node, depth, mism int) {
+		// Only subtrees containing strings of exactly len(q) can match.
+		if int(n.minLen) > len(q) || int(n.maxLen) < len(q) {
+			return
+		}
+		for _, c := range n.label {
+			if depth >= len(q) {
+				return // longer than the query: no Hamming match below
+			}
+			if c != q[depth] {
+				mism++
+				if mism > k {
+					return
+				}
+			}
+			depth++
+		}
+		if len(n.ids) > 0 && depth == len(q) {
+			for _, id := range n.ids {
+				fn(id, mism)
+			}
+		}
+		for _, c := range n.children {
+			descend(c, depth, mism)
+		}
+	}
+	for _, c := range t.root.children {
+		descend(c, 0, 0)
+	}
+}

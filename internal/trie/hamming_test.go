@@ -1,0 +1,79 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func hammingRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.HammingDistance(q, s); d >= 0 && d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	return out
+}
+
+func TestSearchHammingBasic(t *testing.T) {
+	data := []string{"ACGT", "ACGA", "TCGT", "ACG", "ACGTT", ""}
+	for _, compress := range []bool{false, true} {
+		tr := Build(data)
+		if compress {
+			tr.Compress()
+		}
+		for _, q := range []string{"ACGT", "ACGA", "", "TTTT"} {
+			for k := 0; k <= 2; k++ {
+				got := tr.SearchHamming(q, k)
+				want := hammingRef(data, q, k)
+				if !equalMatches(got, want) {
+					t.Errorf("compress=%v SearchHamming(%q, %d) = %v, want %v",
+						compress, q, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchHammingNegativeK(t *testing.T) {
+	tr := Build([]string{"a"})
+	if got := tr.SearchHamming("a", -1); got != nil {
+		t.Errorf("k=-1: %v", got)
+	}
+}
+
+func TestSearchHammingLengthExactness(t *testing.T) {
+	// Strings of other lengths never match, however small the query is.
+	tr := Build([]string{"abc", "abcd", "ab"})
+	got := tr.SearchHamming("abc", 3)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestQuickSearchHammingAgrees(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		compress := compress
+		fn := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(60)
+			data := make([]string, n)
+			for i := range data {
+				data[i] = randomString(r, "ACGT", 10)
+			}
+			tr := Build(data)
+			if compress {
+				tr.Compress()
+			}
+			q := randomString(r, "ACGT", 10)
+			k := r.Intn(5)
+			return equalMatches(tr.SearchHamming(q, k), hammingRef(data, q, k))
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("compress=%v: %v", compress, err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package trie
+
+import (
+	"container/heap"
+
+	"simsearch/internal/edit"
+)
+
+// Best-first nearest-neighbour search. Instead of re-running threshold
+// searches with growing k (iterative deepening, core.TopK), NearestK
+// explores the tree in order of each subtree's distance lower bound (the
+// banded row minimum): a priority queue pops the most promising branch
+// first, and the search stops as soon as the k-th best confirmed distance is
+// no worse than every remaining bound. Each queue entry owns a copy of its
+// DP row, so expansion order is free.
+
+// frontierItem is one queued subtree.
+type frontierItem struct {
+	n     *node
+	row   []int
+	depth int
+	bound int
+}
+
+type frontier []frontierItem
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].bound < f[j].bound }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(frontierItem)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// resultHeap keeps the k best under (dist, id) order, with the worst on
+// top so it is evicted first.
+type resultHeap []Match
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) {
+	*h = append(*h, x.(Match))
+}
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// NearestK returns up to k of the closest stored strings to q, considering
+// only candidates within maxDist edits, ordered by (distance, ID). It works
+// on both pruning modes and on compressed and plain trees.
+func (t *Tree) NearestK(q string, k, maxDist int) []Match {
+	if k <= 0 || maxDist < 0 {
+		return nil
+	}
+	var results resultHeap
+	// worst returns the current k-th best distance, or maxDist+1 while the
+	// result set is not full.
+	worst := func() int {
+		if len(results) < k {
+			return maxDist + 1
+		}
+		return results[0].Dist
+	}
+	offer := func(id int32, dist int) {
+		if dist > maxDist {
+			return
+		}
+		if len(results) < k {
+			heap.Push(&results, Match{ID: id, Dist: dist})
+			return
+		}
+		top := results[0]
+		if dist < top.Dist || (dist == top.Dist && id < top.ID) {
+			results[0] = Match{ID: id, Dist: dist}
+			heap.Fix(&results, 0)
+		}
+	}
+
+	band := maxDist
+	root := edit.InitialBandRow(q, band, nil)
+	if len(t.root.ids) > 0 && len(q) <= maxDist {
+		for _, id := range t.root.ids {
+			offer(id, len(q))
+		}
+	}
+	var fr frontier
+	for _, c := range t.root.children {
+		// The initial row's minimum is 0 (the empty-prefix cell).
+		fr = append(fr, frontierItem{n: c, row: root, depth: 0, bound: 0})
+	}
+	heap.Init(&fr)
+
+	for fr.Len() > 0 {
+		it := heap.Pop(&fr).(frontierItem)
+		if it.bound > worst() || it.bound > maxDist {
+			break // every remaining subtree is at least this far
+		}
+		n := it.n
+		// Length-window prune against the *current* worst bound (equal
+		// distances still matter for ID tie-breaking, so prune only above).
+		w := worst()
+		if w > maxDist {
+			w = maxDist
+		}
+		if int(n.minLen) > len(q)+w || int(n.maxLen) < len(q)-w {
+			continue
+		}
+		row := it.row
+		depth := it.depth
+		alive := true
+		minV := it.bound
+		for _, c := range n.label {
+			next, mv := edit.StepBandRow(q, row, c, depth+1, band, make([]int, len(q)+1))
+			row = next
+			depth++
+			minV = mv
+			if minV > maxDist || minV > worst() {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		if len(n.ids) > 0 {
+			if dist, ok := edit.BandRowDistance(row, depth, len(q), band); ok {
+				for _, id := range n.ids {
+					offer(id, dist)
+				}
+			}
+		}
+		for _, c := range n.children {
+			heap.Push(&fr, frontierItem{n: c, row: row, depth: depth, bound: minV})
+		}
+	}
+
+	out := make([]Match, len(results))
+	copy(out, results)
+	// Order by (dist, id).
+	for i := 1; i < len(out); i++ {
+		m := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].Dist > m.Dist || (out[j].Dist == m.Dist && out[j].ID > m.ID)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = m
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+// refNearestK enumerates everything and keeps the k best under (dist, id).
+func refNearestK(data []string, q string, k, maxDist int) []Match {
+	all := []Match{} // NearestK returns a non-nil empty slice; match that.
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= maxDist {
+			all = append(all, Match{ID: int32(i), Dist: d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestNearestKBasic(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "berlik", ""}
+	for _, compress := range []bool{false, true} {
+		for _, modern := range []bool{false, true} {
+			var opts []Option
+			if modern {
+				opts = append(opts, WithModernPruning())
+			}
+			tr := Build(data, opts...)
+			if compress {
+				tr.Compress()
+			}
+			got := tr.NearestK("berlin", 3, 3)
+			want := refNearestK(data, "berlin", 3, 3)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("compress=%v modern=%v: got %v, want %v", compress, modern, got, want)
+			}
+		}
+	}
+}
+
+func TestNearestKEdgeCases(t *testing.T) {
+	tr := Build([]string{"a", "b"})
+	if got := tr.NearestK("a", 0, 3); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := tr.NearestK("a", 2, -1); got != nil {
+		t.Errorf("maxDist<0: %v", got)
+	}
+	// Fewer matches than k.
+	got := tr.NearestK("a", 10, 0)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("got %v", got)
+	}
+	// Empty tree.
+	if got := New().NearestK("a", 3, 2); len(got) != 0 {
+		t.Errorf("empty tree: %v", got)
+	}
+}
+
+func TestNearestKEmptyStringInTree(t *testing.T) {
+	tr := Build([]string{"", "a", "ab"})
+	got := tr.NearestK("a", 2, 2)
+	want := refNearestK([]string{"", "a", "ab"}, "a", 2, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestQuickNearestKMatchesReference(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abAB", 9)
+		}
+		tr := Build(data)
+		if r.Intn(2) == 0 {
+			tr.Compress()
+		}
+		q := randomString(r, "abAB", 9)
+		k := 1 + r.Intn(6)
+		maxDist := r.Intn(6)
+		got := tr.NearestK(q, k, maxDist)
+		want := refNearestK(data, q, k, maxDist)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestKDuplicates(t *testing.T) {
+	data := []string{"ulm", "ulm", "ulm", "ulx"}
+	tr := Build(data)
+	got := tr.NearestK("ulm", 2, 1)
+	want := []Match{{ID: 0, Dist: 0}, {ID: 1, Dist: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,271 @@
+package trie
+
+// Binary serialization of a built tree, so an index over a large corpus can
+// be constructed once and memory-mapped... no: loaded quickly on later runs
+// instead of rebuilt. The format is a preorder walk with varint-framed
+// fields — stdlib only, versioned, and validated on load.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"simsearch/internal/filter"
+)
+
+// magic identifies the format; the trailing digit is the version.
+var magic = []byte("SIMTRIE1")
+
+// ErrBadFormat reports a stream that is not a serialized tree of the
+// supported version.
+var ErrBadFormat = errors.New("trie: bad serialization format")
+
+// WriteTo serializes the tree. It returns the number of bytes written.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := bw.Write(magic); err != nil {
+		return bw.n, err
+	}
+	var flags byte
+	if t.compressed {
+		flags |= 1
+	}
+	if t.modern {
+		flags |= 2
+	}
+	if t.freq != nil {
+		flags |= 4
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return bw.n, err
+	}
+	if t.freq != nil {
+		writeBytes(bw, []byte(t.freq.Name()))
+		writeBytes(bw, []byte(t.freq.Symbols()))
+	}
+	writeUvarint(bw, uint64(t.strCount))
+	writeUvarint(bw, uint64(t.nodeCount))
+	if err := writeNode(bw, t.root); err != nil {
+		return bw.n, err
+	}
+	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
+		return bw.n, err
+	}
+	return bw.n, bw.err
+}
+
+func writeNode(w *countingWriter, n *node) error {
+	writeBytes(w, n.label)
+	writeUvarint(w, uint64(len(n.ids)))
+	for _, id := range n.ids {
+		writeUvarint(w, uint64(id))
+	}
+	writeUvarint(w, uint64(n.minLen))
+	writeUvarint(w, uint64(n.maxLen))
+	writeUvarint(w, uint64(len(n.freqLo)))
+	for i := range n.freqLo {
+		writeUvarint(w, uint64(uint16(n.freqLo[i])))
+		writeUvarint(w, uint64(uint16(n.freqHi[i])))
+	}
+	writeUvarint(w, uint64(len(n.children)))
+	for _, c := range n.children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return w.err
+}
+
+// Read deserializes a tree written by WriteTo.
+func Read(r io.Reader) (*Tree, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, fmt.Errorf("%w: magic mismatch", ErrBadFormat)
+		}
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	t := &Tree{
+		compressed: flags&1 != 0,
+		modern:     flags&2 != 0,
+	}
+	if flags&4 != 0 {
+		name, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		symbols, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		t.freq = filter.NewFrequency(string(name), string(symbols))
+	}
+	strCount, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nodeCount, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.strCount = int(strCount)
+	t.nodeCount = int(nodeCount)
+	t.root, err = readNode(br, 0)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// maxDepth bounds recursion so corrupted input cannot blow the stack.
+const maxDepth = 1 << 16
+
+func readNode(r *bufio.Reader, depth int) (*node, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: node depth exceeds %d", ErrBadFormat, maxDepth)
+	}
+	n := &node{}
+	label, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(label) > 0 {
+		n.label = label
+	}
+	idCount, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if idCount > 1<<31 {
+		return nil, fmt.Errorf("%w: absurd id count", ErrBadFormat)
+	}
+	for i := uint64(0); i < idCount; i++ {
+		v, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		n.ids = append(n.ids, int32(v))
+	}
+	minLen, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	maxLen, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	n.minLen, n.maxLen = int32(minLen), int32(maxLen)
+	freqLen, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if freqLen > 256 {
+		return nil, fmt.Errorf("%w: absurd frequency vector", ErrBadFormat)
+	}
+	if freqLen > 0 {
+		n.freqLo = make([]int16, freqLen)
+		n.freqHi = make([]int16, freqLen)
+		for i := uint64(0); i < freqLen; i++ {
+			lo, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			n.freqLo[i] = int16(uint16(lo))
+			n.freqHi[i] = int16(uint16(hi))
+		}
+	}
+	childCount, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if childCount > 256 {
+		return nil, fmt.Errorf("%w: more than 256 children", ErrBadFormat)
+	}
+	for i := uint64(0); i < childCount; i++ {
+		c, err := readNode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(c.label) == 0 {
+			return nil, fmt.Errorf("%w: child with empty label", ErrBadFormat)
+		}
+		n.children = append(n.children, c)
+	}
+	// Children must arrive sorted by first label byte (search relies on it).
+	for i := 1; i < len(n.children); i++ {
+		if n.children[i-1].label[0] >= n.children[i].label[0] {
+			return nil, fmt.Errorf("%w: children out of order", ErrBadFormat)
+		}
+	}
+	return n, nil
+}
+
+// --- low-level helpers --------------------------------------------------------
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func (c *countingWriter) WriteByte(b byte) error {
+	_, err := c.Write([]byte{b})
+	return err
+}
+
+func writeUvarint(w *countingWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeBytes(w *countingWriter, b []byte) {
+	writeUvarint(w, uint64(len(b)))
+	w.Write(b)
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return v, nil
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd byte-field length %d", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,157 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/filter"
+)
+
+func roundTrip(t *testing.T, tr *Tree) *Tree {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "", "berlin"}
+	for _, compress := range []bool{false, true} {
+		for _, modern := range []bool{false, true} {
+			for _, withFreq := range []bool{false, true} {
+				var opts []Option
+				if modern {
+					opts = append(opts, WithModernPruning())
+				}
+				if withFreq {
+					opts = append(opts, WithFrequency(filter.VowelFrequency()))
+				}
+				tr := Build(data, opts...)
+				if compress {
+					tr.Compress()
+				}
+				got := roundTrip(t, tr)
+				if got.Compressed() != compress || got.Modern() != modern {
+					t.Errorf("flags lost: compressed=%v modern=%v", got.Compressed(), got.Modern())
+				}
+				if got.Len() != tr.Len() || got.NodeCount() != tr.NodeCount() {
+					t.Errorf("counts lost: %d/%d vs %d/%d",
+						got.Len(), got.NodeCount(), tr.Len(), tr.NodeCount())
+				}
+				for _, q := range []string{"berlin", "bern", "x", "", "bonnn"} {
+					for k := 0; k <= 2; k++ {
+						if !equalMatches(got.Search(q, k), tr.Search(q, k)) {
+							t.Errorf("search diverges after round trip (%q, %d)", q, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	tr := New()
+	got := roundTrip(t, tr)
+	if got.Len() != 0 {
+		t.Errorf("Len = %d", got.Len())
+	}
+	if ms := got.Search("anything", 2); len(ms) != 0 {
+		t.Errorf("matches in empty tree: %v", ms)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC....."),
+		[]byte("SIMTRIE1"), // truncated after magic
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("Read(%q) error = %v, want ErrBadFormat", c, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	tr := Build([]string{"berlin", "bern", "ulm"})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	tr := Build([]string{"berlin", "bern", "ulm", "aachen"})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r := rand.New(rand.NewSource(5))
+	rejected := 0
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), full...)
+		pos := len(magic) + r.Intn(len(corrupt)-len(magic))
+		corrupt[pos] ^= byte(1 + r.Intn(255))
+		if _, err := Read(bytes.NewReader(corrupt)); err != nil {
+			rejected++
+		}
+		// Flips that survive structural validation are acceptable (they
+		// alter ids or lengths, not framing); we only require that the
+		// reader never panics and detects most framing damage.
+	}
+	if rejected == 0 {
+		t.Error("no corruption ever detected")
+	}
+}
+
+func TestQuickSerializePreservesSearch(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abAB", 8)
+		}
+		tr := Build(data)
+		if r.Intn(2) == 0 {
+			tr.Compress()
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		q := randomString(r, "abAB", 8)
+		k := r.Intn(4)
+		return equalMatches(got.Search(q, k), tr.Search(q, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,415 @@
+// Package trie implements the paper's index-based engine: a prefix tree over
+// the data strings with per-node pruning information, optional path
+// compression (paper §4.2, Figure 4), and fuzzy search by dynamic-programming
+// row descent (paper §4.1).
+//
+// Each node stores the minimal and maximal length of the strings reachable
+// below it, following Rheinländer et al.'s PETER index as cited in §2.3 and
+// adopted in §4.1: a branch whose length window cannot intersect
+// [len(q)-k, len(q)+k] is skipped (this realizes the paper's d_m tolerance,
+// eq. 9–10). In addition the DP-row minimum prunes branches whose prefix
+// already guarantees a distance above k, and optional per-node frequency
+// vector bounds (§6 "Frequency vectors") prune on symbol counts.
+package trie
+
+import (
+	"sort"
+
+	"simsearch/internal/edit"
+	"simsearch/internal/filter"
+)
+
+// Match is one search result: the ID the string was inserted with and its
+// exact edit distance to the query.
+type Match struct {
+	ID   int32
+	Dist int
+}
+
+// node is a prefix-tree node. In the uncompressed tree every node's label is
+// a single byte; after Compress, chains of single-child non-terminal nodes
+// are merged and labels grow to multi-byte edge fragments.
+type node struct {
+	label    []byte
+	children []*node
+	ids      []int32 // string IDs terminating here (duplicates share a node)
+	minLen   int32   // minimal length of any string below (inclusive of this node)
+	maxLen   int32   // maximal length
+	// freqLo/freqHi bound the tracked-symbol counts of every string below.
+	freqLo []int16
+	freqHi []int16
+}
+
+// Tree is a prefix-tree index over a set of strings.
+type Tree struct {
+	root       *node
+	nodeCount  int
+	strCount   int
+	compressed bool
+	modern     bool
+	freq       *filter.Frequency
+}
+
+// Option configures tree construction.
+type Option func(*Tree)
+
+// WithFrequency attaches per-node frequency-vector bounds using the given
+// tracked alphabet, enabling the §6 frequency-vector pruning during search.
+func WithFrequency(f *filter.Frequency) Option {
+	return func(t *Tree) { t.freq = f }
+}
+
+// WithModernPruning replaces the paper's §4.1 pruning rule (full DP rows
+// with the diagonal-plus-d_m test, eq. 9–10) by banded rows with row-minimum
+// pruning — the technique modern trie-based similarity indexes use. Results
+// are identical; only the amount of work pruned differs. The reproduction's
+// ablation benchmarks quantify the gap.
+func WithModernPruning() Option {
+	return func(t *Tree) { t.modern = true }
+}
+
+// New returns an empty tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{root: &node{minLen: 1<<31 - 1}}
+	t.nodeCount = 1
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Build constructs a tree over data; string i is inserted with ID i.
+func Build(data []string, opts ...Option) *Tree {
+	t := New(opts...)
+	for i, s := range data {
+		t.Insert(s, int32(i))
+	}
+	return t
+}
+
+// Insert adds s with the given ID. Inserting into a compressed tree is not
+// supported and panics; build fully, then compress.
+func (t *Tree) Insert(s string, id int32) {
+	if t.compressed {
+		panic("trie: Insert after Compress")
+	}
+	var vec filter.Vector
+	if t.freq != nil {
+		vec = t.freq.VectorOf(s)
+	}
+	n := t.root
+	t.absorb(n, len(s), vec)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		child := findChild(n, c)
+		if child == nil {
+			child = &node{label: []byte{c}, minLen: 1<<31 - 1}
+			insertChild(n, child)
+			t.nodeCount++
+		}
+		n = child
+		t.absorb(n, len(s), vec)
+	}
+	n.ids = append(n.ids, id)
+	t.strCount++
+}
+
+// absorb folds one string's length and frequency vector into a node's
+// pruning bounds.
+func (t *Tree) absorb(n *node, slen int, vec filter.Vector) {
+	if int32(slen) < n.minLen {
+		n.minLen = int32(slen)
+	}
+	if int32(slen) > n.maxLen {
+		n.maxLen = int32(slen)
+	}
+	if t.freq == nil {
+		return
+	}
+	if n.freqLo == nil {
+		n.freqLo = make([]int16, len(vec))
+		n.freqHi = make([]int16, len(vec))
+		for i, v := range vec {
+			n.freqLo[i] = int16(v)
+			n.freqHi[i] = int16(v)
+		}
+		return
+	}
+	for i, v := range vec {
+		if int16(v) < n.freqLo[i] {
+			n.freqLo[i] = int16(v)
+		}
+		if int16(v) > n.freqHi[i] {
+			n.freqHi[i] = int16(v)
+		}
+	}
+}
+
+func findChild(n *node, c byte) *node {
+	// children are sorted by first label byte.
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].label[0] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.children) && n.children[lo].label[0] == c {
+		return n.children[lo]
+	}
+	return nil
+}
+
+func insertChild(n *node, child *node) {
+	c := child.label[0]
+	idx := sort.Search(len(n.children), func(i int) bool {
+		return n.children[i].label[0] >= c
+	})
+	n.children = append(n.children, nil)
+	copy(n.children[idx+1:], n.children[idx:])
+	n.children[idx] = child
+}
+
+// Compress merges every chain of single-child, non-terminal nodes into one
+// node with a multi-byte label (paper §4.2, Figure 4). It reduces the node
+// count and the number of per-node bookkeeping steps during search.
+func (t *Tree) Compress() {
+	if t.compressed {
+		return
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i, c := range n.children {
+			for len(c.children) == 1 && len(c.ids) == 0 {
+				only := c.children[0]
+				merged := &node{
+					label:    append(append([]byte(nil), c.label...), only.label...),
+					children: only.children,
+					ids:      only.ids,
+					minLen:   only.minLen,
+					maxLen:   only.maxLen,
+					freqLo:   only.freqLo,
+					freqHi:   only.freqHi,
+				}
+				n.children[i] = merged
+				c = merged
+				t.nodeCount--
+			}
+			walk(c)
+		}
+	}
+	walk(t.root)
+	t.compressed = true
+}
+
+// Compressed reports whether Compress has been applied.
+func (t *Tree) Compressed() bool { return t.compressed }
+
+// Modern reports whether WithModernPruning was selected.
+func (t *Tree) Modern() bool { return t.modern }
+
+// NodeCount returns the number of nodes including the root. The paper's
+// Figure 4 compression claim ("half of the nodes") is checked against this.
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// Len returns the number of inserted strings.
+func (t *Tree) Len() int { return t.strCount }
+
+// Stats summarizes structural properties for the experiment reports.
+type Stats struct {
+	Nodes      int
+	Strings    int
+	Compressed bool
+	MaxDepth   int // depth in label bytes
+	LabelBytes int // resident label bytes (the tree's dominant memory term)
+}
+
+// Stats computes structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{Nodes: t.nodeCount, Strings: t.strCount, Compressed: t.compressed}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		for _, c := range n.children {
+			s.LabelBytes += len(c.label)
+			walk(c, depth+len(c.label))
+		}
+	}
+	walk(t.root, 0)
+	return s
+}
+
+// Search returns every inserted string within edit distance k of q, with its
+// exact distance. Results are in no particular order; callers sort.
+func (t *Tree) Search(q string, k int) []Match {
+	var out []Match
+	t.SearchFunc(q, k, func(id int32, dist int) {
+		out = append(out, Match{ID: id, Dist: dist})
+	})
+	return out
+}
+
+// SearchFunc streams every match to fn. It allocates one DP row per depth
+// level on first use and reuses them across the whole traversal, so a search
+// costs O(activeNodes × len(q)) time with O(maxDepth × len(q)) memory.
+func (t *Tree) SearchFunc(q string, k int, fn func(id int32, dist int)) {
+	if k < 0 {
+		return
+	}
+	var vq filter.Vector
+	if t.freq != nil {
+		vq = t.freq.VectorOf(q)
+	}
+	s := searcher{t: t, q: q, k: k, fn: fn, vq: vq}
+	// The root may itself be terminal for the empty string.
+	if len(t.root.ids) > 0 && len(q) <= k {
+		for _, id := range t.root.ids {
+			fn(id, len(q))
+		}
+	}
+	if t.modern {
+		row := edit.InitialBandRow(q, k, nil)
+		for _, c := range t.root.children {
+			s.descend(c, row, 0)
+		}
+		return
+	}
+	row := edit.InitialRow(q)
+	for _, c := range t.root.children {
+		s.descendPaper(c, row, 0)
+	}
+}
+
+type searcher struct {
+	t    *Tree
+	q    string
+	k    int
+	fn   func(id int32, dist int)
+	vq   filter.Vector
+	rows [][]int // row buffer per byte depth, lazily grown
+}
+
+// prune reports whether the subtree below n can be skipped outright based on
+// the stored length window and frequency bounds.
+func (s *searcher) prune(n *node) bool {
+	// Length-window pruning (the paper's d_m tolerance, eq. 9–10): every
+	// string below n has length in [minLen, maxLen]; it can only match if
+	// that window intersects [len(q)-k, len(q)+k].
+	if int(n.minLen) > len(s.q)+s.k || int(n.maxLen) < len(s.q)-s.k {
+		return true
+	}
+	if s.vq != nil && n.freqLo != nil {
+		// Frequency bounds: the one-sided surpluses against the best case.
+		var over, under int
+		for i, qv := range s.vq {
+			if d := qv - int(n.freqHi[i]); d > 0 {
+				over += d
+			}
+			if d := int(n.freqLo[i]) - qv; d > 0 {
+				under += d
+			}
+		}
+		m := over
+		if under > m {
+			m = under
+		}
+		if m > s.k {
+			return true
+		}
+	}
+	return false
+}
+
+// rowAt returns the reusable row buffer for a byte depth.
+func (s *searcher) rowAt(depth int) []int {
+	for len(s.rows) <= depth {
+		s.rows = append(s.rows, make([]int, len(s.q)+1))
+	}
+	return s.rows[depth]
+}
+
+// descend processes node n whose parent prefix produced parentRow at byte
+// depth depth (banded row for the prefix of length depth).
+func (s *searcher) descend(n *node, parentRow []int, depth int) {
+	if s.prune(n) {
+		return
+	}
+	row := parentRow
+	d := depth
+	for _, c := range n.label {
+		next, minV := edit.StepBandRow(s.q, row, c, d+1, s.k, s.rowAt(d+1))
+		row = next
+		d++
+		if minV > s.k {
+			// No extension of this prefix can come back within k
+			// (row minima never decrease when extending the prefix).
+			return
+		}
+	}
+	if len(n.ids) > 0 {
+		if dist, ok := edit.BandRowDistance(row, d, len(s.q), s.k); ok {
+			for _, id := range n.ids {
+				s.fn(id, dist)
+			}
+		}
+	}
+	for _, c := range n.children {
+		s.descend(c, row, d)
+	}
+}
+
+// descendPaper is the paper-faithful §4.1 traversal: full DP rows, pruned by
+// the node length window and the diagonal test of eq. 9–10.
+//
+// Soundness of the diagonal test: suppose some string y below the node has
+// ed(q, y) <= k, and split an optimal alignment at prefix depth i <= len(q).
+// The prefix part uses c1 edits and drifts the alignment by |d_i| positions;
+// the suffix part uses c2 edits and must cover the remaining drift, so
+// |d_i| <= c2 + |len(y)-len(q)|. Then
+//
+//	ed(y[:i], q[:i]) <= c1 + |d_i| <= c1 + c2 + |len(y)-len(q)| <= k + d_m,
+//
+// where d_m = max(maxLen-len(q), len(q)-minLen) bounds the length difference
+// for every y in the subtree. Pruning when row[i] > k + d_m therefore never
+// loses a match. For depths i beyond len(q) the completion bound applies:
+// ed(q, y) >= ed(q, y[:i]) - (len(y) - i) >= row[len(q)] - (maxLen - i).
+func (s *searcher) descendPaper(n *node, parentRow []int, depth int) {
+	if s.prune(n) {
+		return
+	}
+	lq := len(s.q)
+	dm := 0
+	if v := int(n.maxLen) - lq; v > dm {
+		dm = v
+	}
+	if v := lq - int(n.minLen); v > dm {
+		dm = v
+	}
+	row := parentRow
+	d := depth
+	for _, c := range n.label {
+		row = edit.StepRow(s.q, row, c, s.rowAt(d+1))
+		d++
+		if d <= lq {
+			if row[d] > s.k+dm {
+				return
+			}
+		} else if row[lq] > s.k+int(n.maxLen)-d {
+			return
+		}
+	}
+	if len(n.ids) > 0 {
+		if dist := edit.RowDistance(row); dist <= s.k {
+			for _, id := range n.ids {
+				s.fn(id, dist)
+			}
+		}
+	}
+	for _, c := range n.children {
+		s.descendPaper(c, row, d)
+	}
+}

@@ -1,0 +1,270 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+	"simsearch/internal/filter"
+)
+
+func sortedMatches(ms []Match) []Match {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	return ms
+}
+
+// scanRef is the brute-force reference: full scan with exact distances.
+func scanRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortedMatches(a)
+	sortedMatches(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperFigure4Compression(t *testing.T) {
+	// Figure 4: "Berlin", "Bern", "Ulm" — the compressed tree has half the
+	// nodes of the plain tree.
+	data := []string{"Berlin", "Bern", "Ulm"}
+	tr := Build(data)
+	// Plain: root + B,e,r,l,i,n + n(after Ber->n) + U,l,m = 1+6+1+3 = 11.
+	if got := tr.NodeCount(); got != 11 {
+		t.Errorf("plain NodeCount = %d, want 11", got)
+	}
+	tr.Compress()
+	// Compressed: root, "Ber", "lin", "n", "Ulm" = 5 nodes.
+	if got := tr.NodeCount(); got != 5 {
+		t.Errorf("compressed NodeCount = %d, want 5", got)
+	}
+	if !tr.Compressed() {
+		t.Error("Compressed() = false after Compress")
+	}
+	// Same results before/after compression.
+	for _, q := range []string{"Bern", "Berlin", "Ulm", "Barn", "Hamburg"} {
+		for k := 0; k <= 3; k++ {
+			got := tr.Search(q, k)
+			want := scanRef(data, q, k)
+			if !equalMatches(got, want) {
+				t.Errorf("Search(%q, %d) = %v, want %v", q, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchExactAndFuzzy(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "munich", "ulm", "köln", "erlangen", ""}
+	tr := Build(data)
+	// Exact (k=0).
+	ms := tr.Search("bonn", 0)
+	if len(ms) != 1 || ms[0].ID != 2 || ms[0].Dist != 0 {
+		t.Errorf("exact search = %v", ms)
+	}
+	// Empty query matches empty string at k=0.
+	ms = tr.Search("", 0)
+	if len(ms) != 1 || ms[0].ID != 7 {
+		t.Errorf("empty query = %v", ms)
+	}
+	// Fuzzy.
+	ms = tr.Search("berlyn", 1)
+	if len(ms) != 1 || ms[0].ID != 0 || ms[0].Dist != 1 {
+		t.Errorf("fuzzy search = %v", ms)
+	}
+	// Negative k returns nothing.
+	if got := tr.Search("bonn", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+}
+
+func TestDuplicateStringsShareNode(t *testing.T) {
+	data := []string{"ulm", "ulm", "ulm"}
+	tr := Build(data)
+	ms := tr.Search("ulm", 0)
+	if len(ms) != 3 {
+		t.Fatalf("got %d matches, want 3", len(ms))
+	}
+	ids := map[int32]bool{}
+	for _, m := range ms {
+		ids[m.ID] = true
+	}
+	if !ids[0] || !ids[1] || !ids[2] {
+		t.Errorf("ids = %v", ms)
+	}
+}
+
+func TestInsertAfterCompressPanics(t *testing.T) {
+	tr := Build([]string{"a"})
+	tr.Compress()
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert after Compress did not panic")
+		}
+	}()
+	tr.Insert("b", 1)
+}
+
+func TestStats(t *testing.T) {
+	tr := Build([]string{"abc", "abd", "x"})
+	st := tr.Stats()
+	if st.Strings != 3 || st.Nodes != tr.NodeCount() || st.MaxDepth != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LabelBytes != 5 { // nodes a, b, c, d, x — one byte each
+		t.Errorf("LabelBytes = %d, want 5", st.LabelBytes)
+	}
+	tr.Compress()
+	st = tr.Stats()
+	if !st.Compressed || st.MaxDepth != 3 {
+		t.Errorf("compressed stats = %+v", st)
+	}
+}
+
+func TestCompressIdempotent(t *testing.T) {
+	tr := Build([]string{"berlin", "bern"})
+	tr.Compress()
+	n := tr.NodeCount()
+	tr.Compress()
+	if tr.NodeCount() != n {
+		t.Error("second Compress changed node count")
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickTrieAgreesWithScan(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		for _, withFreq := range []bool{false, true} {
+			for _, modern := range []bool{false, true} {
+				compress, withFreq, modern := compress, withFreq, modern
+				fn := func(seed int64) bool {
+					r := rand.New(rand.NewSource(seed))
+					n := 1 + r.Intn(60)
+					data := make([]string, n)
+					for i := range data {
+						data[i] = randomString(r, "ACGNT", 12)
+					}
+					var opts []Option
+					if withFreq {
+						opts = append(opts, WithFrequency(filter.DNAFrequency()))
+					}
+					if modern {
+						opts = append(opts, WithModernPruning())
+					}
+					tr := Build(data, opts...)
+					if compress {
+						tr.Compress()
+					}
+					q := randomString(r, "ACGNT", 12)
+					k := r.Intn(5)
+					return equalMatches(tr.Search(q, k), scanRef(data, q, k))
+				}
+				if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+					t.Errorf("compress=%v freq=%v modern=%v: %v", compress, withFreq, modern, err)
+				}
+			}
+		}
+	}
+}
+
+func TestModernAndPaperModesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	data := make([]string, 300)
+	for i := range data {
+		data[i] = randomString(r, "abcdAB", 14)
+	}
+	paper := Build(data)
+	modern := Build(data, WithModernPruning())
+	paper.Compress()
+	modern.Compress()
+	if !modern.Modern() || paper.Modern() {
+		t.Fatal("Modern() flags wrong")
+	}
+	for i := 0; i < 80; i++ {
+		q := randomString(r, "abcdAB", 14)
+		k := r.Intn(5)
+		if !equalMatches(paper.Search(q, k), modern.Search(q, k)) {
+			t.Fatalf("modes diverge on %q k=%d", q, k)
+		}
+	}
+}
+
+func TestQuickCompressionNeverLosesStrings(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(80)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ab", 8)
+		}
+		tr := Build(data)
+		before := tr.NodeCount()
+		tr.Compress()
+		if tr.NodeCount() > before {
+			return false
+		}
+		// Every inserted string must still be findable exactly.
+		for i, s := range data {
+			found := false
+			for _, m := range tr.Search(s, 0) {
+				if m.ID == int32(i) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongDNAStrings(t *testing.T) {
+	// The DNA regime: strings of length ~100 with high overlap.
+	r := rand.New(rand.NewSource(42))
+	genome := randomString(r, "ACGT", 4000)
+	for len(genome) < 300 {
+		genome = randomString(r, "ACGT", 4000)
+	}
+	var data []string
+	for i := 0; i+100 <= len(genome) && len(data) < 200; i += 7 {
+		data = append(data, genome[i:i+100])
+	}
+	tr := Build(data)
+	tr.Compress()
+	for _, k := range []int{0, 4, 8, 16} {
+		q := data[len(data)/2]
+		got := tr.Search(q, k)
+		want := scanRef(data, q, k)
+		if !equalMatches(got, want) {
+			t.Errorf("k=%d: got %d matches, want %d", k, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package trie
+
+// Traversal utilities beyond fuzzy search: lexicographic iteration and exact
+// prefix lookup (autocomplete), the operations a prefix tree gives away for
+// free and that a deduplication or suggestion pipeline built on the index
+// needs anyway.
+
+// Walk visits every stored string in lexicographic byte order, passing the
+// reconstructed string and the IDs it was inserted with. Returning false
+// stops the walk. Duplicate strings are visited once with all their IDs.
+func (t *Tree) Walk(fn func(s string, ids []int32) bool) {
+	buf := make([]byte, 0, 64)
+	t.walk(t.root, buf, fn)
+}
+
+func (t *Tree) walk(n *node, prefix []byte, fn func(s string, ids []int32) bool) bool {
+	if len(n.ids) > 0 {
+		if !fn(string(prefix), n.ids) {
+			return false
+		}
+	}
+	for _, c := range n.children {
+		if !t.walk(c, append(prefix, c.label...), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings returns every stored string in lexicographic order, with
+// duplicates repeated according to their multiplicity.
+func (t *Tree) Strings() []string {
+	out := make([]string, 0, t.strCount)
+	t.Walk(func(s string, ids []int32) bool {
+		for range ids {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// PrefixSearch returns the IDs of every stored string that begins with
+// prefix, up to limit results (limit <= 0 means unlimited), in lexicographic
+// order of the stored strings.
+func (t *Tree) PrefixSearch(prefix string, limit int) []int32 {
+	n := t.root
+	rest := prefix
+	for len(rest) > 0 {
+		child := findChild(n, rest[0])
+		if child == nil {
+			return nil
+		}
+		label := child.label
+		// The label and the remaining prefix must agree on their overlap.
+		l := len(label)
+		if len(rest) < l {
+			l = len(rest)
+		}
+		for i := 0; i < l; i++ {
+			if label[i] != rest[i] {
+				return nil
+			}
+		}
+		rest = rest[l:]
+		n = child
+	}
+	var out []int32
+	t.collectIDs(n, &out, limit)
+	return out
+}
+
+func (t *Tree) collectIDs(n *node, out *[]int32, limit int) bool {
+	for _, id := range n.ids {
+		if limit > 0 && len(*out) >= limit {
+			return false
+		}
+		*out = append(*out, id)
+	}
+	for _, c := range n.children {
+		if limit > 0 && len(*out) >= limit {
+			return false
+		}
+		if !t.collectIDs(c, out, limit) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWalkLexicographic(t *testing.T) {
+	data := []string{"bern", "berlin", "ulm", "aachen", "ulm"}
+	for _, compress := range []bool{false, true} {
+		tr := Build(data)
+		if compress {
+			tr.Compress()
+		}
+		got := tr.Strings()
+		want := append([]string(nil), data...)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("compress=%v: Strings() = %v, want %v", compress, got, want)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := Build([]string{"a", "b", "c"})
+	visits := 0
+	tr.Walk(func(s string, ids []int32) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Errorf("visits = %d, want 2", visits)
+	}
+}
+
+func TestWalkEmptyStringAtRoot(t *testing.T) {
+	tr := Build([]string{"", "a"})
+	var seen []string
+	tr.Walk(func(s string, ids []int32) bool {
+		seen = append(seen, s)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []string{"", "a"}) {
+		t.Errorf("seen = %q", seen)
+	}
+}
+
+func TestPrefixSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ber", "ulm"}
+	for _, compress := range []bool{false, true} {
+		tr := Build(data)
+		if compress {
+			tr.Compress()
+		}
+		ids := tr.PrefixSearch("ber", 0)
+		// Expect bers: "ber"(3), "berlin"(0), "bern"(1) in lexicographic
+		// order of the stored strings: ber, berlin, bern.
+		want := []int32{3, 0, 1}
+		if !reflect.DeepEqual(ids, want) {
+			t.Errorf("compress=%v: PrefixSearch(ber) = %v, want %v", compress, ids, want)
+		}
+		if got := tr.PrefixSearch("zz", 0); got != nil {
+			t.Errorf("PrefixSearch(zz) = %v", got)
+		}
+		if got := tr.PrefixSearch("", 2); len(got) != 2 {
+			t.Errorf("limit broken: %v", got)
+		}
+		// Prefix longer than any stored string.
+		if got := tr.PrefixSearch("berlins", 0); got != nil {
+			t.Errorf("PrefixSearch(berlins) = %v", got)
+		}
+		// Prefix ending inside a compressed label ("berl" is inside "berlin"
+		// after compression).
+		if got := tr.PrefixSearch("berl", 0); !reflect.DeepEqual(got, []int32{0}) {
+			t.Errorf("PrefixSearch(berl) = %v", got)
+		}
+	}
+}
+
+func TestQuickPrefixSearchMatchesLinear(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "ab", 8)
+		}
+		tr := Build(data)
+		if r.Intn(2) == 0 {
+			tr.Compress()
+		}
+		prefix := randomString(r, "ab", 5)
+		got := tr.PrefixSearch(prefix, 0)
+		var want []int32
+		for i, s := range data {
+			if strings.HasPrefix(s, prefix) {
+				want = append(want, int32(i))
+			}
+		}
+		sortIDs := func(ids []int32) {
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		}
+		sortIDs(got)
+		sortIDs(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWalkRoundTrip(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abC", 6)
+		}
+		tr := Build(data)
+		tr.Compress()
+		got := tr.Strings()
+		want := append([]string(nil), data...)
+		sort.Strings(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package vptree implements a vantage-point tree over the edit-distance
+// metric — the second classic metric index family next to the BK-tree, and
+// another "what mature libraries ship" baseline for the paper's problem.
+//
+// Construction picks a vantage point per subtree, computes every member's
+// distance to it, and splits at the median: the inside half lies within the
+// median radius, the outside half beyond it. A query descends both halves
+// only when the triangle inequality cannot exclude one:
+//
+//	|d(q, v) - d(v, x)| <= ed(q, x)
+//
+// so the inside half can be skipped when d(q,v) - mu > k and the outside
+// half when mu - d(q,v) > k.
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+
+	"simsearch/internal/edit"
+)
+
+// Match is one search result.
+type Match struct {
+	ID   int32
+	Dist int
+}
+
+type node struct {
+	id      int32 // vantage point
+	radius  int   // median distance to the inside subtree
+	inside  *node
+	outside *node
+}
+
+// Tree is a vantage-point tree over a set of strings.
+type Tree struct {
+	data []string
+	root *node
+}
+
+// Build constructs the tree; string i has ID i. Construction is randomized
+// (vantage-point choice) but deterministic in seed.
+func Build(data []string, seed int64) *Tree {
+	t := &Tree{data: data}
+	ids := make([]int32, len(data))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	r := rand.New(rand.NewSource(seed))
+	t.root = t.build(ids, r)
+	return t
+}
+
+type byDist struct {
+	ids  []int32
+	dist []int
+}
+
+func (b byDist) Len() int { return len(b.ids) }
+func (b byDist) Swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.dist[i], b.dist[j] = b.dist[j], b.dist[i]
+}
+func (b byDist) Less(i, j int) bool {
+	return b.dist[i] < b.dist[j]
+}
+
+func (t *Tree) build(ids []int32, r *rand.Rand) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Pick and remove a random vantage point.
+	vi := r.Intn(len(ids))
+	ids[vi], ids[len(ids)-1] = ids[len(ids)-1], ids[vi]
+	v := ids[len(ids)-1]
+	rest := ids[:len(ids)-1]
+	n := &node{id: v}
+	if len(rest) == 0 {
+		return n
+	}
+	dist := make([]int, len(rest))
+	for i, id := range rest {
+		dist[i] = edit.Distance(t.data[v], t.data[id])
+	}
+	sort.Sort(byDist{ids: rest, dist: dist})
+	mid := len(rest) / 2
+	n.radius = dist[mid]
+	// Inside: distance <= radius (indices 0..mid); outside: the rest. Move
+	// the boundary so equal distances stay inside.
+	hi := mid
+	for hi < len(rest) && dist[hi] == n.radius {
+		hi++
+	}
+	n.inside = t.build(rest[:hi], r)
+	n.outside = t.build(rest[hi:], r)
+	return n
+}
+
+// Len returns the dataset size.
+func (t *Tree) Len() int { return len(t.data) }
+
+// Search returns every string within edit distance k of q, sorted by ID.
+func (t *Tree) Search(q string, k int) []Match {
+	if k < 0 {
+		return nil
+	}
+	var out []Match
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		// The vantage distance must be exact: it steers the descent on both
+		// sides, not just the membership test.
+		dv := edit.Distance(q, t.data[n.id])
+		if dv <= k {
+			out = append(out, Match{ID: n.id, Dist: dv})
+		}
+		if dv-n.radius <= k {
+			visit(n.inside)
+		}
+		if n.radius-dv <= k {
+			visit(n.outside)
+		}
+	}
+	visit(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,109 @@
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsearch/internal/edit"
+)
+
+func scanRef(data []string, q string, k int) []Match {
+	var out []Match
+	for i, s := range data {
+		if d := edit.Distance(q, s); d <= k {
+			out = append(out, Match{ID: int32(i), Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicSearch(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich", ""}
+	tr := Build(data, 1)
+	if tr.Len() != 6 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for _, q := range []string{"berlin", "bern", "x", ""} {
+		for k := 0; k <= 3; k++ {
+			got := tr.Search(q, k)
+			want := scanRef(data, q, k)
+			if !equalMatches(got, want) {
+				t.Errorf("Search(%q, %d) = %v, want %v", q, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyAndNegative(t *testing.T) {
+	tr := Build(nil, 1)
+	if got := tr.Search("x", 3); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	tr = Build([]string{"a"}, 1)
+	if got := tr.Search("a", -1); got != nil {
+		t.Errorf("k=-1 returned %v", got)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	data := []string{"ulm", "ulm", "ulm", "x"}
+	tr := Build(data, 7)
+	got := tr.Search("ulm", 0)
+	if len(got) != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func randomString(r *rand.Rand, alphabet string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+func TestQuickAgreesWithScan(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randomString(r, "abcAC", 10)
+		}
+		tr := Build(data, seed)
+		q := randomString(r, "abcAC", 10)
+		k := r.Intn(4)
+		return equalMatches(tr.Search(q, k), scanRef(data, q, k))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferentSeedsSameResults(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "munich", "magdeburg"}
+	a := Build(data, 1)
+	b := Build(data, 999)
+	for k := 0; k <= 2; k++ {
+		if !equalMatches(a.Search("bern", k), b.Search("bern", k)) {
+			t.Errorf("tree shape changed results at k=%d", k)
+		}
+	}
+}
