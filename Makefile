@@ -1,0 +1,36 @@
+GO ?= go
+
+# Packages with nontrivial concurrency: the worker pools, the sharded
+# executor, the HTTP server, and the parallel scan engine.
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan
+
+.PHONY: check build fmt vet test race fuzz bench clean
+
+check: fmt vet test race ## everything CI runs
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Short differential-fuzz smoke of every engine family vs the oracle.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzEnginesAgree -fuzztime=15s .
+	$(GO) test -run=NONE -fuzz=FuzzDifferential -fuzztime=15s ./internal/exec
+
+bench:
+	$(GO) test -bench . -benchmem -run=NONE .
+
+clean:
+	$(GO) clean ./...

@@ -36,6 +36,8 @@ func main() {
 		workload = flag.String("workload", "", "restrict to one workload: city or dna")
 		latency  = flag.Bool("latency", false, "also print per-query latency distributions (beyond the paper's totals)")
 		extra    = flag.Bool("extra", false, "also run the extension experiments (join race, engine matrix)")
+		shards   = flag.Bool("shards", false, "also run the sharded-executor sweep (Table XIV), the serving-path analogue of the paper's worker sweep")
+		workers  = flag.Int("workers", 0, "pool workers for the shard sweep (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -146,6 +148,22 @@ func main() {
 			tab.Render(os.Stdout)
 			fmt.Printf("[tableXI dna completed in %v; best row: %s]\n\n",
 				time.Since(start).Round(time.Millisecond), tab.Best())
+		}
+	}
+
+	if *shards {
+		for _, w := range []struct {
+			need bool
+			wl   bench.Workload
+		}{{needCity, city}, {needDNA, dna}} {
+			if !w.need {
+				continue
+			}
+			start := time.Now()
+			tab := bench.TableXIV(w.wl, *workers)
+			tab.Render(os.Stdout)
+			fmt.Printf("[tableXIV %s completed in %v; best row: %s]\n\n",
+				w.wl.Name, time.Since(start).Round(time.Millisecond), tab.Best())
 		}
 	}
 

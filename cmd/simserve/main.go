@@ -4,23 +4,32 @@
 // Usage:
 //
 //	simserve -data cities.txt -engine trie -addr :8080
-//	simserve -gen city -n 40000 -addr :8080
+//	simserve -gen city -n 40000 -shards 8 -timeout 2s -addr :8080
 //
 //	curl 'localhost:8080/search?q=Berlni&k=2'
 //	curl 'localhost:8080/topk?q=Hambrug&n=3&maxk=3'
+//	curl -d '{"queries":[{"q":"Berlni","k":2},{"q":"Mnchen","k":2}]}' localhost:8080/search/batch
 //	curl 'localhost:8080/stats'
+//
+// With -shards > 0 the dataset is partitioned across a sharded executor
+// (per-shard engines selected by -engine) and batches are answered
+// shard-parallel; /stats then reports per-shard counters. The server honors
+// per-request deadlines (-timeout), per-query deadlines in batches
+// (-querytimeout), and shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -grace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"simsearch"
-	"simsearch/internal/core"
 	"simsearch/internal/httpapi"
 )
 
@@ -30,9 +39,14 @@ func main() {
 		gen      = flag.String("gen", "", "generate a synthetic dataset instead: city or dna")
 		n        = flag.Int("n", 40000, "synthetic dataset size")
 		engine   = flag.String("engine", "trie", "engine: scan, trie, bktree, qgram, suffixarray")
-		workers  = flag.Int("workers", 0, "scan engine workers")
+		workers  = flag.Int("workers", 0, "scan engine workers (unsharded) or executor pool workers (sharded)")
+		shards   = flag.Int("shards", 0, "partition the dataset across this many shards (0 = single engine)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		maxK     = flag.Int("maxk", 16, "largest accepted edit threshold")
+		maxBatch = flag.Int("maxbatch", 1024, "largest accepted /search/batch size")
+		timeout  = flag.Duration("timeout", 0, "per-request engine deadline (0 = none)")
+		qTimeout = flag.Duration("querytimeout", 0, "per-query deadline inside sharded batches (0 = none)")
+		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
 
@@ -53,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := simsearch.Options{Workers: *workers}
+	opts := simsearch.Options{Workers: *workers, QueryTimeout: *qTimeout}
 	switch *engine {
 	case "scan":
 		opts.Algorithm = simsearch.Scan
@@ -70,11 +84,26 @@ func main() {
 	}
 
 	start := time.Now()
-	eng := simsearch.New(data, opts)
+	var eng simsearch.Searcher
+	if *shards > 0 {
+		ex := simsearch.NewSharded(data, *shards, opts)
+		log.Printf("sharded executor: %d shards, sizes %v", ex.NumShards(), ex.ShardSizes())
+		eng = ex
+	} else {
+		eng = simsearch.New(data, opts)
+	}
 	log.Printf("engine %s over %d strings built in %v", eng.Name(), len(data), time.Since(start))
 
-	srv := httpapi.New(eng.(core.Searcher), data)
+	srv := httpapi.New(eng, data)
 	srv.MaxK = *maxK
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv.MaxBatch = *maxBatch
+	srv.Timeout = *timeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("listening on %s (request timeout %v, shutdown grace %v)", *addr, *timeout, *grace)
+	if err := httpapi.ListenAndServe(ctx, *addr, srv, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained in-flight requests; bye")
 }

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"simsearch/internal/core"
+	"simsearch/internal/exec"
 	"simsearch/internal/join"
+	"simsearch/internal/pool"
 	"simsearch/internal/scan"
 	"simsearch/internal/trie"
 )
@@ -157,6 +159,45 @@ func TableXIII(w Workload, queries int) *Table {
 		}
 		idxTime := time.Since(start)
 		t.AddRow(fmt.Sprintf("n=%d", n), []Cell{{Elapsed: seqTime}, {Elapsed: idxTime}})
+	}
+	return t
+}
+
+// ShardCounts is the shard sweep, the serving-path analogue of the paper's
+// Tables II/IV worker sweep.
+var ShardCounts = []int{1, 2, 4, 8, 16}
+
+// TableXIV sweeps the sharded executor's shard count over the workload's
+// query batches, with the paper's best parallel configuration (one engine,
+// one fixed pool across queries) as the baseline row. Both axes use the
+// same worker pool size, so the table isolates what partitioning the data
+// adds on top of parallelizing across queries: intra-query parallelism and
+// cache-sized per-shard working sets.
+func TableXIV(w Workload, workers int) *Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := NewTable(fmt.Sprintf(
+		"Table XIV (extension). Sharded-executor sweep on the %s workload (%d pool workers)",
+		w.Name, workers), w.Counts)
+
+	baseline := core.NewSequential(w.Data,
+		scan.WithStrategy(scan.ParallelManaged), scan.WithWorkers(workers),
+		scan.WithBandedKernel())
+	cells := series(w, func(qs []core.Query) time.Duration {
+		return MeasureBatch(baseline, qs, nil)
+	})
+	t.AddRow("parallel scan (paper §3.6)", cells)
+
+	for _, p := range ShardCounts {
+		ex := exec.New(w.Data, exec.Options{
+			Shards: p,
+			Runner: pool.Fixed{Workers: workers},
+		})
+		cells := series(w, func(qs []core.Query) time.Duration {
+			return MeasureBatch(ex, qs, nil)
+		})
+		t.AddRow(fmt.Sprintf("sharded scan, P=%d", p), cells)
 	}
 	return t
 }

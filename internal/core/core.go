@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -42,6 +43,40 @@ type Searcher interface {
 	Name() string
 	// Len returns the dataset size.
 	Len() int
+}
+
+// ContextSearcher is implemented by engines that can abandon an in-flight
+// query when its context is cancelled. SearchContext must return promptly
+// after cancellation with ctx.Err() and a nil match slice; a nil error means
+// the result is complete and identical to what Search would have returned.
+type ContextSearcher interface {
+	Searcher
+	SearchContext(ctx context.Context, q Query) ([]Match, error)
+}
+
+// SearchContext answers q with s under ctx. Context-aware engines are driven
+// through their own SearchContext; for plain engines the query runs on a
+// helper goroutine and SearchContext returns ctx.Err() on cancellation
+// without waiting for it (the abandoned goroutine finishes the scan and is
+// then collected — plain engines have no way to abort mid-query).
+func SearchContext(ctx context.Context, s Searcher, q Query) ([]Match, error) {
+	if cs, ok := s.(ContextSearcher); ok {
+		return cs.SearchContext(ctx, q)
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return s.Search(q), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch := make(chan []Match, 1)
+	go func() { ch <- s.Search(q) }()
+	select {
+	case ms := <-ch:
+		return ms, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // sortMatches orders by ID, the canonical result order.
@@ -83,6 +118,16 @@ func (s *Sequential) SearchBatch(qs []Query) [][]Match {
 		out[i] = convertScan(ms)
 	}
 	return out
+}
+
+// SearchContext implements ContextSearcher: the scan checks ctx periodically
+// and abandons the query promptly after cancellation.
+func (s *Sequential) SearchContext(ctx context.Context, q Query) ([]Match, error) {
+	ms, err := s.eng.SearchContext(ctx, scan.Query{Text: q.Text, K: q.K})
+	if err != nil {
+		return nil, err
+	}
+	return convertScan(ms), nil
 }
 
 // Name implements Searcher.

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+	"simsearch/internal/pool"
+)
+
+// slowSearcher is a context-aware shard stub that blocks inside every query
+// until its context is cancelled or the test releases it. It stands in for a
+// shard stuck on a pathologically expensive query.
+type slowSearcher struct {
+	n       int
+	started chan struct{} // one send per query that has begun executing
+	release chan struct{} // closed by the test to unblock Search
+}
+
+func (s *slowSearcher) Search(core.Query) []core.Match {
+	s.started <- struct{}{}
+	<-s.release
+	return nil
+}
+
+func (s *slowSearcher) SearchContext(ctx context.Context, q core.Query) ([]core.Match, error) {
+	s.started <- struct{}{}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.release:
+		return nil, nil
+	}
+}
+
+func (s *slowSearcher) Name() string { return "slow-stub" }
+func (s *slowSearcher) Len() int     { return s.n }
+
+// newSlowExecutor builds a 4-shard executor whose every shard is slow.
+func newSlowExecutor(started, release chan struct{}) *Sharded {
+	return New(make([]string, 8), Options{
+		Shards: 4,
+		Runner: pool.Fixed{Workers: 4},
+		Factory: func(data []string) core.Searcher {
+			return &slowSearcher{n: len(data), started: started, release: release}
+		},
+	})
+}
+
+// TestSearchContextCancelsPromptly: with every shard blocked, cancelling the
+// context must return ctx.Err() without waiting for the shards, and all
+// goroutines the call spawned must drain.
+func TestSearchContextCancelsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	defer close(release)
+	ex := newSlowExecutor(started, release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		ms  []core.Match
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ms, err := ex.SearchContext(ctx, core.Query{Text: "x", K: 1})
+		done <- result{ms, err}
+	}()
+
+	// All four shard tasks are in flight (4 workers, 4 shards), so the call
+	// is genuinely blocked before we cancel.
+	for i := 0; i < 4; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("shard task %d never started", i)
+		}
+	}
+	cancel()
+
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", r.err)
+		}
+		if r.ms != nil {
+			t.Fatalf("matches = %v, want nil on cancellation", r.ms)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SearchContext did not return after cancel")
+	}
+
+	waitForGoroutines(t, before)
+}
+
+// TestSearchBatchContextCancelMidBatch: cancelling while a batch is running
+// abandons the batch with ctx.Err() and skips the unstarted task tail.
+func TestSearchBatchContextCancelMidBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	defer close(release)
+	ex := newSlowExecutor(started, release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	qs := make([]core.Query, 8) // 8×4 = 32 tasks over 4 workers
+	done := make(chan error, 1)
+	go func() {
+		_, err := ex.SearchBatchContext(ctx, qs)
+		done <- err
+	}()
+	for i := 0; i < 4; i++ { // the 4 workers are all blocked in shards
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("batch tasks never started")
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SearchBatchContext did not return after cancel")
+	}
+
+	waitForGoroutines(t, before)
+}
+
+// TestPerQueryDeadline: with a QueryTimeout configured and shards that block
+// until their context expires, every query reports DeadlineExceeded while the
+// batch call itself succeeds.
+func TestPerQueryDeadline(t *testing.T) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	defer close(release)
+	ex := New(make([]string, 8), Options{
+		Shards:       2,
+		QueryTimeout: 20 * time.Millisecond,
+		Runner:       pool.Fixed{Workers: 4},
+		Factory: func(data []string) core.Searcher {
+			return &slowSearcher{n: len(data), started: started, release: release}
+		},
+	})
+	res, err := ex.SearchBatchContext(context.Background(), make([]core.Query, 3))
+	if err != nil {
+		t.Fatalf("batch err = %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d, want 3", len(res))
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("query %d: err = %v, want DeadlineExceeded", i, r.Err)
+		}
+		if r.Matches != nil {
+			t.Errorf("query %d: matches = %v, want nil", i, r.Matches)
+		}
+	}
+}
+
+// TestSearchBatchContextCompletes: the happy path returns complete, correct
+// per-query results with nil errors, identical to the plain batch path.
+func TestSearchBatchContextCompletes(t *testing.T) {
+	data := dataset.Cities(300, 6)
+	ex := New(data, Options{Shards: 3})
+	qs := queriesFor(data, 10, []int{1, 2}, 23)
+	want := ex.SearchBatch(qs)
+	res, err := ex.SearchBatchContext(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d: unexpected err %v", i, r.Err)
+		}
+		if !core.Equal(r.Matches, want[i]) {
+			t.Fatalf("query %d: context batch diverges from plain batch", i)
+		}
+	}
+	// An already-cancelled context fails the whole batch up front.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.SearchBatchContext(cancelled, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch err = %v", err)
+	}
+	if _, err := ex.SearchContext(cancelled, qs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search err = %v", err)
+	}
+}
+
+// TestSearchContextPlainEnginesComplete: context execution over ordinary
+// (non-stub) engines returns exactly what Search returns when not cancelled.
+func TestSearchContextPlainEnginesComplete(t *testing.T) {
+	data := dataset.Cities(400, 10)
+	ex := New(data, Options{Shards: 4, Factory: TrieFactory(true)})
+	for _, q := range queriesFor(data, 8, []int{0, 1, 2}, 29) {
+		want := ex.Search(q)
+		got, err := ex.SearchContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.Equal(got, want) {
+			t.Fatalf("SearchContext(%+v) diverges from Search", q)
+		}
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to the baseline
+// (with a small slack for runtime housekeeping), failing after a deadline.
+// Polling against a deadline is deliberate: a fixed sleep would be flaky.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines through exit
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

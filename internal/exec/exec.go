@@ -1,0 +1,326 @@
+// Package exec is the serving-path executor: it partitions a dataset into P
+// contiguous shards, builds one engine per shard (any core.Searcher — scan,
+// trie, BK-tree, …), and fans batches of queries across a pool.Runner so the
+// shard×query task grid saturates the machine. It extends the paper's
+// §3.5–3.6 parallelism ladder, which stops at "one fixed pool per query
+// batch", with the partition-then-merge layer a production service needs:
+// sharding, batching, context cancellation, and per-query deadlines.
+//
+// Determinism guarantee: shards cover contiguous ID ranges in dataset order
+// and every engine returns matches sorted by ID, so concatenating the
+// per-shard results in shard order (after adding each shard's base offset)
+// reproduces exactly the ID-sorted result set the single-engine path emits —
+// for every shard count, every factory, and every runner. Scheduling only
+// changes when a slot is filled, never what ends up in it.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/pool"
+	"simsearch/internal/scan"
+	"simsearch/internal/stats"
+	"simsearch/internal/trie"
+)
+
+// Factory builds one shard engine over that shard's slice of the dataset.
+// Match IDs local to the slice are remapped to global IDs by the executor.
+type Factory func(data []string) core.Searcher
+
+// DefaultFactory builds the library's best serial scan (banded SimpleTypes),
+// the engine the paper found fastest on short natural-language strings.
+func DefaultFactory(data []string) core.Searcher {
+	return core.NewSequential(data,
+		scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel())
+}
+
+// ScanFactory builds sequential-scan shards with the given options.
+func ScanFactory(opts ...scan.Option) Factory {
+	return func(data []string) core.Searcher {
+		return core.NewSequential(data, opts...)
+	}
+}
+
+// TrieFactory builds prefix-tree shards (compress selects the §4.2 variant).
+func TrieFactory(compress bool, opts ...trie.Option) Factory {
+	return func(data []string) core.Searcher {
+		return core.NewTrie(data, compress, opts...)
+	}
+}
+
+// BKTreeFactory builds BK-tree shards.
+func BKTreeFactory() Factory {
+	return func(data []string) core.Searcher {
+		return core.NewBKTree(data)
+	}
+}
+
+// Options configures New. The zero value gives one shard per CPU, the default
+// scan factory, and a fixed pool of GOMAXPROCS workers.
+type Options struct {
+	// Shards is the partition count P (default GOMAXPROCS, clamped to the
+	// dataset size so no shard is empty).
+	Shards int
+	// Factory builds each shard's engine (default DefaultFactory).
+	Factory Factory
+	// Runner schedules the shard×query task grid (default
+	// pool.Fixed{Workers: GOMAXPROCS}). Any of the paper's strategies works.
+	Runner pool.Runner
+	// QueryTimeout, when positive, gives every query in a
+	// SearchBatchContext call its own deadline, measured from batch
+	// submission (a client-style deadline, not an execution budget). Expired
+	// queries report context.DeadlineExceeded in their QueryResult.
+	QueryTimeout time.Duration
+}
+
+// shard is one partition: an engine over a contiguous slice of the dataset
+// plus the global ID of its first string.
+type shard struct {
+	eng  core.Searcher
+	base int32
+}
+
+// Sharded is the partition-then-merge executor. It implements core.Searcher,
+// core.Batcher, and core.ContextSearcher, so it drops in anywhere a single
+// engine does while answering batches shard-parallel.
+type Sharded struct {
+	data         []string
+	shards       []shard
+	runner       pool.Runner
+	queryTimeout time.Duration
+	counters     []*stats.Counter
+	name         string
+}
+
+// New partitions data into opts.Shards contiguous shards and builds one
+// engine per shard. The data slice is retained; string i keeps global ID i.
+func New(data []string, opts Options) *Sharded {
+	p := opts.Shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if n := len(data); p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	factory := opts.Factory
+	if factory == nil {
+		factory = DefaultFactory
+	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = pool.Fixed{Workers: runtime.GOMAXPROCS(0)}
+	}
+	s := &Sharded{
+		data:         data,
+		shards:       make([]shard, p),
+		runner:       runner,
+		queryTimeout: opts.QueryTimeout,
+		counters:     make([]*stats.Counter, p),
+	}
+	n := len(data)
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		s.shards[i] = shard{eng: factory(data[lo:hi]), base: int32(lo)}
+		s.counters[i] = &stats.Counter{}
+	}
+	s.name = fmt.Sprintf("sharded-%d/%s", p, s.shards[0].eng.Name())
+	return s
+}
+
+// Name implements core.Searcher.
+func (s *Sharded) Name() string { return s.name }
+
+// Len implements core.Searcher.
+func (s *Sharded) Len() int { return len(s.data) }
+
+// NumShards returns the partition count P.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardSizes returns the number of strings in each shard.
+func (s *Sharded) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.eng.Len()
+	}
+	return out
+}
+
+// CounterSnapshots returns a point-in-time copy of every shard's serving
+// counters (queries answered, matches produced, cumulative busy time).
+func (s *Sharded) CounterSnapshots() []stats.CounterSnapshot {
+	out := make([]stats.CounterSnapshot, len(s.counters))
+	for i, c := range s.counters {
+		out[i] = c.Snapshot()
+	}
+	return out
+}
+
+// ResetCounters zeroes every shard counter.
+func (s *Sharded) ResetCounters() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+}
+
+// searchShard answers q on shard i, remaps local IDs to global IDs, and
+// records the shard's counters. A nil ctx runs the uninterruptible fast path.
+func (s *Sharded) searchShard(ctx context.Context, i int, q core.Query) ([]core.Match, error) {
+	sh := s.shards[i]
+	start := time.Now()
+	var ms []core.Match
+	var err error
+	if ctx == nil {
+		ms = sh.eng.Search(q)
+	} else {
+		ms, err = core.SearchContext(ctx, sh.eng, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for j := range ms {
+		ms[j].ID += sh.base
+	}
+	s.counters[i].Observe(len(ms), time.Since(start))
+	return ms, nil
+}
+
+// merge concatenates per-shard results in shard order. Contiguous shards +
+// per-engine ID order make the concatenation globally ID-sorted.
+func merge(per [][]core.Match) []core.Match {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]core.Match, 0, total)
+	for _, p := range per {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Search implements core.Searcher: one query, all shards in parallel.
+func (s *Sharded) Search(q core.Query) []core.Match {
+	per := make([][]core.Match, len(s.shards))
+	s.runner.Run(len(s.shards), func(i int) {
+		per[i], _ = s.searchShard(nil, i, q)
+	})
+	return merge(per)
+}
+
+// SearchContext implements core.ContextSearcher. It returns promptly with
+// ctx.Err() once ctx is done: unstarted shard tasks are skipped, context-aware
+// shard engines abandon their in-flight work, and only plain engines run
+// their current task to completion on an abandoned pool worker.
+func (s *Sharded) SearchContext(ctx context.Context, q core.Query) ([]core.Match, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.Search(q), nil
+	}
+	per := make([][]core.Match, len(s.shards))
+	errs := make([]error, len(s.shards))
+	err := pool.RunContext(ctx, s.runner, len(s.shards), func(i int) {
+		per[i], errs[i] = s.searchShard(ctx, i, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return merge(per), nil
+}
+
+// SearchBatch implements core.Batcher: the len(qs)×P task grid is fanned
+// across the runner and per-query results are returned in input order.
+func (s *Sharded) SearchBatch(qs []core.Query) [][]core.Match {
+	p := len(s.shards)
+	per := make([][]core.Match, len(qs)*p)
+	s.runner.Run(len(qs)*p, func(t int) {
+		per[t], _ = s.searchShard(nil, t%p, qs[t/p])
+	})
+	out := make([][]core.Match, len(qs))
+	for qi := range out {
+		out[qi] = merge(per[qi*p : (qi+1)*p])
+	}
+	return out
+}
+
+// QueryResult is one query's outcome in a context batch: either its complete
+// match set or the context error (Canceled or DeadlineExceeded) that ended it.
+type QueryResult struct {
+	Matches []core.Match
+	Err     error
+}
+
+// SearchBatchContext answers the batch under ctx. Cancelling ctx abandons the
+// whole batch and returns ctx.Err(); a configured QueryTimeout instead expires
+// individual queries, which report DeadlineExceeded in their QueryResult while
+// the rest of the batch completes. Results are in input order.
+func (s *Sharded) SearchBatchContext(ctx context.Context, qs []core.Query) ([]QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := len(s.shards)
+	n := len(qs)
+	out := make([]QueryResult, n)
+	if n == 0 {
+		return out, nil
+	}
+
+	qctx := make([]context.Context, n)
+	if s.queryTimeout > 0 {
+		for i := range qctx {
+			c, cancel := context.WithTimeout(ctx, s.queryTimeout)
+			defer cancel()
+			qctx[i] = c
+		}
+	} else {
+		for i := range qctx {
+			qctx[i] = ctx
+		}
+	}
+
+	per := make([][]core.Match, n*p)
+	errs := make([]error, n*p)
+	err := pool.RunContext(ctx, s.runner, n*p, func(t int) {
+		qi := t / p
+		c := qctx[qi]
+		if e := c.Err(); e != nil {
+			errs[t] = e
+			return
+		}
+		per[t], errs[t] = s.searchShard(c, t%p, qs[qi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for qi := 0; qi < n; qi++ {
+		var qerr error
+		for si := 0; si < p; si++ {
+			if e := errs[qi*p+si]; e != nil {
+				qerr = e
+				break
+			}
+		}
+		if qerr != nil {
+			out[qi] = QueryResult{Err: qerr}
+			continue
+		}
+		out[qi] = QueryResult{Matches: merge(per[qi*p : (qi+1)*p])}
+	}
+	return out, nil
+}

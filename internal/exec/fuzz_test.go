@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+)
+
+// FuzzDifferential is the cross-engine differential harness: for an arbitrary
+// dataset and query, the optimized scan, the trie index, the BK-tree, and the
+// sharded executor (over two different factories and shard counts) must all
+// return exactly the match set of the unoptimized reference scan. Seeds come
+// from the paper's two corpora: city names and ACGNT genome reads.
+//
+// Run continuously with: go test -fuzz=FuzzDifferential ./internal/exec
+// (the seed corpus also runs as a plain test in every `go test`).
+func FuzzDifferential(f *testing.F) {
+	f.Add(strings.Join(dataset.Cities(24, 7), "\n"), "berlin", uint8(2))
+	f.Add(strings.Join(dataset.Cities(40, 11), "\n"), "sankt goarshausen", uint8(3))
+	f.Add(strings.Join(dataset.DNAReads(12, 7), "\n"), "ACGTNACGT", uint8(4))
+	f.Add(strings.Join(dataset.DNAReads(20, 13), "\n"), strings.Repeat("ACGNT", 6), uint8(1))
+	f.Add("ulm\nulm\n\nbonn", "ulm", uint8(0))
+	f.Add("", "x", uint8(1))
+	f.Add("aéz\nxyz", "aéz", uint8(1)) // multi-byte symbols
+
+	f.Fuzz(func(t *testing.T, raw, qtext string, k uint8) {
+		data := strings.Split(raw, "\n")
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		for i, s := range data {
+			if len(s) > 48 {
+				data[i] = s[:48]
+			}
+		}
+		if len(qtext) > 48 {
+			qtext = qtext[:48]
+		}
+		q := core.Query{Text: qtext, K: int(k % 6)}
+		want := core.Reference(data).Search(q)
+
+		engines := []core.Searcher{
+			DefaultFactory(data),
+			core.NewTrie(data, true),
+			core.NewBKTree(data),
+			New(data, Options{Shards: 3, Factory: TrieFactory(true)}),
+			New(data, Options{Shards: 5}),
+			New(data, Options{Shards: 2, Factory: BKTreeFactory()}),
+		}
+		for _, eng := range engines {
+			if got := eng.Search(q); !core.Equal(got, want) {
+				t.Fatalf("%s diverges on %+v over %d strings:\ngot  %v\nwant %v",
+					eng.Name(), q, len(data), got, want)
+			}
+		}
+	})
+}

@@ -5,21 +5,31 @@
 //
 // Endpoints:
 //
-//	GET /search?q=TEXT&k=N        all matches within N edits
-//	GET /topk?q=TEXT&n=N&maxk=M   the N closest matches within M edits
-//	GET /hamming?q=TEXT&k=N       Hamming matches (trie engines only)
-//	GET /stats                    engine and dataset information
-//	GET /healthz                  liveness probe
+//	GET  /search?q=TEXT&k=N        all matches within N edits
+//	GET  /topk?q=TEXT&n=N&maxk=M   the N closest matches within M edits
+//	GET  /hamming?q=TEXT&k=N       Hamming matches (trie engines only)
+//	POST /search/batch             JSON batch of queries, answered together
+//	GET  /stats                    engine, dataset, and per-shard counters
+//	GET  /healthz                  liveness probe
+//
+// The /search and /search/batch handlers run under the request context plus
+// the configured Timeout: a client disconnect or an expired deadline abandons
+// the query (promptly, for context-aware engines such as the sharded
+// executor) and reports 504. Serve/ListenAndServe add graceful shutdown.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
 
 	"simsearch/internal/core"
 	"simsearch/internal/dataset"
+	"simsearch/internal/exec"
 )
 
 // Server wires an engine and its dataset into an http.Handler.
@@ -30,18 +40,44 @@ type Server struct {
 	// MaxK caps the accepted threshold so one request cannot trigger an
 	// effectively unbounded scan. Defaults to 16 (the paper's largest k).
 	MaxK int
+	// MaxBatch caps the number of queries in one /search/batch request.
+	// Defaults to 1024.
+	MaxBatch int
+	// Timeout bounds the engine time of a single request (and of every
+	// query in a batch). Zero disables the server-side deadline; the
+	// request context still cancels on client disconnect.
+	Timeout time.Duration
 }
 
 // New builds the handler. data must be the slice the engine was built over;
 // it is used to echo matched strings.
 func New(eng core.Searcher, data []string) *Server {
-	s := &Server{eng: eng, data: data, mux: http.NewServeMux(), MaxK: 16}
+	s := &Server{eng: eng, data: data, mux: http.NewServeMux(), MaxK: 16, MaxBatch: 1024}
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/batch", s.handleBatch)
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/hamming", s.handleHamming)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
+}
+
+// queryCtx derives the context a search runs under: the request context,
+// bounded by the configured Timeout.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// failCtx maps a context error to the right status code.
+func (s *Server) failCtx(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.fail(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		return
+	}
+	s.fail(w, http.StatusServiceUnavailable, err.Error())
 }
 
 // ServeHTTP implements http.Handler.
@@ -114,8 +150,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "k exceeds the configured maximum")
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	start := time.Now()
-	ms := s.eng.Search(core.Query{Text: q, K: k})
+	ms, err := core.SearchContext(ctx, s.eng, core.Query{Text: q, K: k})
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	resp := SearchResponse{
 		Query: q, K: k,
 		Matches: s.convert(ms),
@@ -123,6 +165,108 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// BatchRequest is the /search/batch payload: a list of queries answered as
+// one batch (shard-parallel when the engine is the sharded executor).
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchQuery is one query in a batch request.
+type BatchQuery struct {
+	Q string `json:"q"`
+	K *int   `json:"k,omitempty"` // nil → default 2
+}
+
+// BatchResponse is the /search/batch payload.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	TookµS  int64         `json:"took_us"`
+}
+
+// BatchResult is one query's outcome: its matches, or the error ("deadline
+// exceeded", …) that ended it.
+type BatchResult struct {
+	Query   string      `json:"query"`
+	K       int         `json:"k"`
+	Matches []MatchJSON `json:"matches,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.MaxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge, "batch exceeds the configured maximum")
+		return
+	}
+	qs := make([]core.Query, len(req.Queries))
+	for i, bq := range req.Queries {
+		if bq.Q == "" {
+			s.fail(w, http.StatusBadRequest, "empty q in batch")
+			return
+		}
+		k := 2
+		if bq.K != nil {
+			k = *bq.K
+		}
+		if k < 0 || k > s.MaxK {
+			s.fail(w, http.StatusBadRequest, "k out of range in batch")
+			return
+		}
+		qs[i] = core.Query{Text: bq.Q, K: k}
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	results, err := s.searchBatch(ctx, qs)
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(qs)), TookµS: time.Since(start).Microseconds()}
+	for i, res := range results {
+		br := BatchResult{Query: qs[i].Text, K: qs[i].K}
+		if res.Err != nil {
+			br.Error = res.Err.Error()
+		} else {
+			br.Matches = s.convert(res.Matches)
+		}
+		resp.Results[i] = br
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// searchBatch answers qs under ctx: the sharded executor runs its own
+// shard-parallel scheduler with per-query deadlines; any other engine
+// answers serially under the batch deadline.
+func (s *Server) searchBatch(ctx context.Context, qs []core.Query) ([]exec.QueryResult, error) {
+	if ex, ok := s.eng.(*exec.Sharded); ok {
+		return ex.SearchBatchContext(ctx, qs)
+	}
+	out := make([]exec.QueryResult, len(qs))
+	for i, q := range qs {
+		ms, err := core.SearchContext(ctx, s.eng, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = exec.QueryResult{Matches: ms}
+	}
+	return out, nil
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -187,26 +331,86 @@ func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// ShardStatsJSON is one shard's serving counters in the /stats payload.
+type ShardStatsJSON struct {
+	Strings    int     `json:"strings"`
+	Queries    uint64  `json:"queries"`
+	Matches    uint64  `json:"matches"`
+	BusyµS     int64   `json:"busy_us"`
+	MeanµS     int64   `json:"mean_us"`
+	Throughput float64 `json:"throughput_qps"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
-	Engine  string  `json:"engine"`
-	Count   int     `json:"count"`
-	Symbols int     `json:"symbols"`
-	MinLen  int     `json:"min_len"`
-	AvgLen  float64 `json:"avg_len"`
-	MaxLen  int     `json:"max_len"`
+	Engine  string           `json:"engine"`
+	Count   int              `json:"count"`
+	Symbols int              `json:"symbols"`
+	MinLen  int              `json:"min_len"`
+	AvgLen  float64          `json:"avg_len"`
+	MaxLen  int              `json:"max_len"`
+	Shards  []ShardStatsJSON `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	info := dataset.Stats(s.data)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(StatsResponse{
+	resp := StatsResponse{
 		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
 		MinLen: info.MinLen, AvgLen: info.AvgLen, MaxLen: info.MaxLen,
-	})
+	}
+	if ex, ok := s.eng.(*exec.Sharded); ok {
+		sizes := ex.ShardSizes()
+		for i, snap := range ex.CounterSnapshots() {
+			resp.Shards = append(resp.Shards, ShardStatsJSON{
+				Strings:    sizes[i],
+				Queries:    snap.Queries,
+				Matches:    snap.Matches,
+				BusyµS:     snap.Busy.Microseconds(),
+				MeanµS:     snap.MeanLatency().Microseconds(),
+				Throughput: snap.Throughput(),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ok\n"))
+}
+
+// Serve runs s on l until ctx is cancelled, then shuts down gracefully:
+// listeners close, in-flight requests get up to grace to finish, and the
+// remainder are forcibly closed. It returns nil after a clean shutdown.
+func Serve(ctx context.Context, l net.Listener, s *Server, grace time.Duration) error {
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if grace > 0 {
+		sctx, cancel = context.WithTimeout(sctx, grace)
+	}
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func ListenAndServe(ctx context.Context, addr string, s *Server, grace time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, l, s, grace)
 }

@@ -1,12 +1,17 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"simsearch/internal/core"
+	"simsearch/internal/exec"
 )
 
 var data = []string{"berlin", "bern", "bonn", "ulm", "munich"}
@@ -157,5 +162,196 @@ func TestHealthEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// --- Sharded serving path ----------------------------------------------------
+
+func postJSON(t *testing.T, url string, body string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	// Sharded engine: the batch is answered by the executor's own scheduler.
+	eng := exec.New(data, exec.Options{Shards: 2})
+	ts := httptest.NewServer(New(eng, data))
+	defer ts.Close()
+
+	var resp BatchResponse
+	r := postJSON(t, ts.URL+"/search/batch",
+		`{"queries":[{"q":"berlni","k":2},{"q":"ulm","k":0},{"q":"zzz"}]}`, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if len(resp.Results[0].Matches) != 2 || resp.Results[0].Matches[0].String != "berlin" {
+		t.Errorf("batch[0] = %+v", resp.Results[0])
+	}
+	if len(resp.Results[1].Matches) != 1 || resp.Results[1].Matches[0].String != "ulm" {
+		t.Errorf("batch[1] = %+v", resp.Results[1])
+	}
+	if resp.Results[2].K != 2 || len(resp.Results[2].Matches) != 0 {
+		t.Errorf("batch[2] = %+v", resp.Results[2])
+	}
+
+	// A non-sharded engine serves the same endpoint serially.
+	plain := httptest.NewServer(New(core.NewTrie(data, true), data))
+	defer plain.Close()
+	var resp2 BatchResponse
+	postJSON(t, plain.URL+"/search/batch", `{"queries":[{"q":"bern","k":1}]}`, &resp2)
+	if len(resp2.Results) != 1 || len(resp2.Results[0].Matches) != 1 {
+		t.Errorf("plain batch = %+v", resp2.Results)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	srv := New(core.NewTrie(data, true), data)
+	srv.MaxBatch = 2
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"queries":[]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"queries":[{"q":""}]}`, http.StatusBadRequest},
+		{`{"queries":[{"q":"x","k":-1}]}`, http.StatusBadRequest},
+		{`{"queries":[{"q":"x","k":99}]}`, http.StatusBadRequest},
+		{`{"queries":[{"q":"a"},{"q":"b"},{"q":"c"}]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		var e ErrorResponse
+		r := postJSON(t, ts.URL+"/search/batch", c.body, &e)
+		if r.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.body, r.StatusCode, c.code)
+		}
+	}
+	// GET is rejected.
+	resp, err := http.Get(ts.URL + "/search/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", resp.StatusCode)
+	}
+}
+
+// blockingSearcher blocks every query until its context is cancelled.
+type blockingSearcher struct{}
+
+func (blockingSearcher) Search(core.Query) []core.Match { select {} }
+func (blockingSearcher) SearchContext(ctx context.Context, q core.Query) ([]core.Match, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (blockingSearcher) Name() string { return "blocking-stub" }
+func (blockingSearcher) Len() int     { return 0 }
+
+func TestRequestTimeout(t *testing.T) {
+	srv := New(blockingSearcher{}, nil)
+	srv.Timeout = 20 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var e ErrorResponse
+	r := getJSON(t, ts.URL+"/search?q=x&k=1", &e)
+	if r.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("search status = %d, want 504", r.StatusCode)
+	}
+
+	var resp BatchResponse
+	r = postJSON(t, ts.URL+"/search/batch", `{"queries":[{"q":"x"}]}`, &resp)
+	// The serial fallback surfaces the batch deadline as a request error.
+	if r.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("batch status = %d, want 504", r.StatusCode)
+	}
+}
+
+func TestBatchPerQueryDeadline(t *testing.T) {
+	// A sharded executor over blocking shards with a per-query timeout:
+	// the request succeeds and each query reports its own deadline error.
+	ex := exec.New(make([]string, 4), exec.Options{
+		Shards:       2,
+		QueryTimeout: 10 * time.Millisecond,
+		Factory:      func(d []string) core.Searcher { return blockingSearcher{} },
+	})
+	srv := New(ex, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var resp BatchResponse
+	r := postJSON(t, ts.URL+"/search/batch", `{"queries":[{"q":"x"},{"q":"y"}]}`, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	for i, res := range resp.Results {
+		if res.Error == "" || len(res.Matches) != 0 {
+			t.Errorf("result %d = %+v, want per-query deadline error", i, res)
+		}
+	}
+}
+
+func TestStatsShards(t *testing.T) {
+	eng := exec.New(data, exec.Options{Shards: 2})
+	ts := httptest.NewServer(New(eng, data))
+	defer ts.Close()
+	// Answer one query so the counters move.
+	var sr SearchResponse
+	getJSON(t, ts.URL+"/search?q=bern&k=1", &sr)
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	if len(resp.Shards) != 2 {
+		t.Fatalf("shards = %+v", resp.Shards)
+	}
+	var queries, held uint64
+	for _, sh := range resp.Shards {
+		queries += sh.Queries
+		held += uint64(sh.Strings)
+	}
+	if queries != 2 || held != uint64(len(data)) {
+		t.Errorf("shard stats = %+v", resp.Shards)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srvDone := make(chan error, 1)
+	go func() {
+		srvDone <- Serve(ctx, l, New(core.NewTrie(data, true), data), time.Second)
+	}()
+	// The server is accepting: a request must succeed.
+	var resp SearchResponse
+	getJSON(t, "http://"+l.Addr().String()+"/search?q=bern&k=1", &resp)
+	if len(resp.Matches) != 1 {
+		t.Fatalf("pre-shutdown search = %+v", resp.Matches)
+	}
+	cancel()
+	select {
+	case err := <-srvDone:
+		if err != nil {
+			t.Fatalf("shutdown err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	// The listener is closed now.
+	if _, err := http.Get("http://" + l.Addr().String() + "/healthz"); err == nil {
+		t.Error("server still accepting after shutdown")
 	}
 }

@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunContextRunsAllWithoutCancel(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var ran int64
+		err := RunContext(ctx, Fixed{Workers: 4}, 100, func(i int) {
+			atomic.AddInt64(&ran, 1)
+		})
+		if err != nil || ran != 100 {
+			t.Errorf("ctx=%v: err=%v ran=%d", ctx, err, ran)
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunContext(ctx, Serial{}, 5, func(i int) { ran = true })
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Errorf("err=%v ran=%v", err, ran)
+	}
+}
+
+// TestRunContextSkipsAfterCancel: cancelling mid-run returns promptly and
+// the unstarted task tail is skipped. Tasks block on a channel (not a timer)
+// so the test is deterministic under any scheduler.
+func TestRunContextSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, 8)
+	release := make(chan struct{})
+	var ran int64
+	done := make(chan error, 1)
+	go func() {
+		done <- RunContext(ctx, Fixed{Workers: 2}, 50, func(i int) {
+			atomic.AddInt64(&ran, 1)
+			started <- i
+			<-release
+		})
+	}()
+	// Both workers are now inside a task.
+	<-started
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+	close(release) // drain the two in-flight tasks
+	// Only the tasks already in flight at cancel time may have run; the
+	// skipped tail never increments ran, racing or not.
+	if n := atomic.LoadInt64(&ran); n > 2 {
+		t.Errorf("ran = %d tasks after prompt cancel, want <= 2", n)
+	}
+}

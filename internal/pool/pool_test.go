@@ -43,20 +43,48 @@ func TestPerTaskRunsAll(t *testing.T) {
 	checkRunsAll(t, PerTask{}, 0)
 }
 
-func TestPerTaskIsConcurrent(t *testing.T) {
-	var mu sync.Mutex
-	var cur, peak int
-	PerTask{}.Run(16, func(i int) {
-		mu.Lock()
-		cur++
-		if cur > peak {
-			peak = cur
+// updatePeak lifts *peak to c if c is a new high-water mark.
+func updatePeak(peak *int64, c int64) {
+	for {
+		p := atomic.LoadInt64(peak)
+		if c <= p || atomic.CompareAndSwapInt64(peak, p, c) {
+			return
 		}
-		mu.Unlock()
-		time.Sleep(2 * time.Millisecond)
-		mu.Lock()
-		cur--
-		mu.Unlock()
+	}
+}
+
+// runOrFail runs fn on a helper goroutine and fails the test if it does not
+// finish in time, turning a scheduler deadlock into a diagnosable failure
+// instead of a hung test binary. The deadline is a watchdog, not a timing
+// assumption: on a healthy runner fn completes in microseconds.
+func runOrFail(t *testing.T, name string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { defer close(done); fn() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: runner deadlocked", name)
+	}
+}
+
+func TestPerTaskIsConcurrent(t *testing.T) {
+	// Every task blocks until two tasks are provably in flight at once, so
+	// the observed peak is ≥ 2 by synchronization, not by sleeping and
+	// hoping the scheduler overlaps them.
+	var cur, peak int64
+	overlap := make(chan struct{})
+	var once sync.Once
+	runOrFail(t, "per-task", func() {
+		PerTask{}.Run(16, func(i int) {
+			c := atomic.AddInt64(&cur, 1)
+			updatePeak(&peak, c)
+			if c >= 2 {
+				once.Do(func() { close(overlap) })
+			}
+			<-overlap
+			atomic.AddInt64(&cur, -1)
+		})
 	})
 	if peak < 2 {
 		t.Errorf("peak concurrency = %d, want >= 2", peak)
@@ -73,20 +101,24 @@ func TestFixedRunsAll(t *testing.T) {
 }
 
 func TestFixedBoundsConcurrency(t *testing.T) {
+	// The first three tasks rendezvous before any proceeds: the pool must
+	// reach exactly its worker count and never exceed it. No timers.
 	var cur, peak int64
-	Fixed{Workers: 3}.Run(60, func(i int) {
-		c := atomic.AddInt64(&cur, 1)
-		for {
-			p := atomic.LoadInt64(&peak)
-			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
-				break
+	full := make(chan struct{})
+	var once sync.Once
+	runOrFail(t, "fixed-3", func() {
+		Fixed{Workers: 3}.Run(60, func(i int) {
+			c := atomic.AddInt64(&cur, 1)
+			updatePeak(&peak, c)
+			if c >= 3 {
+				once.Do(func() { close(full) })
 			}
-		}
-		time.Sleep(time.Millisecond)
-		atomic.AddInt64(&cur, -1)
+			<-full
+			atomic.AddInt64(&cur, -1)
+		})
 	})
-	if peak > 3 {
-		t.Errorf("peak concurrency = %d, want <= 3", peak)
+	if peak != 3 {
+		t.Errorf("peak concurrency = %d, want exactly 3", peak)
 	}
 }
 
@@ -107,8 +139,22 @@ func TestAdaptiveRunsAll(t *testing.T) {
 }
 
 func TestAdaptiveScalesUpUnderLoad(t *testing.T) {
+	// Tasks block until two run concurrently, which pins utilization at
+	// 100% and forces the master to open a second worker; the test then
+	// drains without ever sleeping for a guessed duration.
 	a := &Adaptive{Min: 1, Max: 8, Interval: 100 * time.Microsecond}
-	a.Run(64, func(i int) { time.Sleep(2 * time.Millisecond) })
+	var cur int64
+	grown := make(chan struct{})
+	var once sync.Once
+	runOrFail(t, "adaptive-grow", func() {
+		a.Run(64, func(i int) {
+			if atomic.AddInt64(&cur, 1) >= 2 {
+				once.Do(func() { close(grown) })
+			}
+			<-grown
+			atomic.AddInt64(&cur, -1)
+		})
+	})
 	if a.Peak() < 2 {
 		t.Errorf("Peak = %d, want >= 2 under sustained load", a.Peak())
 	}
@@ -118,18 +164,23 @@ func TestAdaptiveScalesUpUnderLoad(t *testing.T) {
 }
 
 func TestAdaptiveRespectsMax(t *testing.T) {
+	// Tasks rendezvous at the Max worker count: utilization stays at 100%
+	// until the pool is full, tempting the master to over-spawn; the peak
+	// must still be capped at Max.
 	a := &Adaptive{Min: 2, Max: 3, Interval: 50 * time.Microsecond}
 	var cur, peak int64
-	a.Run(100, func(i int) {
-		c := atomic.AddInt64(&cur, 1)
-		for {
-			p := atomic.LoadInt64(&peak)
-			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
-				break
+	full := make(chan struct{})
+	var once sync.Once
+	runOrFail(t, "adaptive-max", func() {
+		a.Run(100, func(i int) {
+			c := atomic.AddInt64(&cur, 1)
+			updatePeak(&peak, c)
+			if c >= 3 {
+				once.Do(func() { close(full) })
 			}
-		}
-		time.Sleep(500 * time.Microsecond)
-		atomic.AddInt64(&cur, -1)
+			<-full
+			atomic.AddInt64(&cur, -1)
+		})
 	})
 	if peak > 3 {
 		t.Errorf("observed concurrency %d exceeds Max 3", peak)

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter accumulates lock-free per-shard serving metrics: how many queries a
+// shard has answered, how many matches it produced, and how long it has been
+// busy. All methods are safe for concurrent use; the executor calls Observe
+// from whichever pool worker happens to run the shard task.
+type Counter struct {
+	queries atomic.Uint64
+	matches atomic.Uint64
+	busy    atomic.Int64 // cumulative nanoseconds inside Search
+}
+
+// Observe records one answered query that produced matches results and took d.
+func (c *Counter) Observe(matches int, d time.Duration) {
+	c.queries.Add(1)
+	c.matches.Add(uint64(matches))
+	c.busy.Add(int64(d))
+}
+
+// Snapshot returns a consistent-enough point-in-time copy for reporting.
+// (Fields are read individually; the counter keeps running underneath.)
+func (c *Counter) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Queries: c.queries.Load(),
+		Matches: c.matches.Load(),
+		Busy:    time.Duration(c.busy.Load()),
+	}
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.queries.Store(0)
+	c.matches.Store(0)
+	c.busy.Store(0)
+}
+
+// CounterSnapshot is a point-in-time copy of a Counter.
+type CounterSnapshot struct {
+	Queries uint64        `json:"queries"`
+	Matches uint64        `json:"matches"`
+	Busy    time.Duration `json:"busy_ns"`
+}
+
+// Throughput returns queries per second of busy time (0 when idle).
+func (s CounterSnapshot) Throughput() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Busy.Seconds()
+}
+
+// MeanLatency returns the average time per answered query (0 when idle).
+func (s CounterSnapshot) MeanLatency() time.Duration {
+	if s.Queries == 0 {
+		return 0
+	}
+	return s.Busy / time.Duration(s.Queries)
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterObserveSnapshot(t *testing.T) {
+	var c Counter
+	c.Observe(3, 2*time.Millisecond)
+	c.Observe(0, time.Millisecond)
+	s := c.Snapshot()
+	if s.Queries != 2 || s.Matches != 3 || s.Busy != 3*time.Millisecond {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if got := s.MeanLatency(); got != 1500*time.Microsecond {
+		t.Errorf("MeanLatency = %v", got)
+	}
+	if tp := s.Throughput(); tp < 600 || tp > 700 { // 2 queries / 3ms ≈ 666.7 qps
+		t.Errorf("Throughput = %v", tp)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.Queries != 0 || s.Matches != 0 || s.Busy != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestCounterZeroValues(t *testing.T) {
+	var s CounterSnapshot
+	if s.Throughput() != 0 || s.MeanLatency() != 0 {
+		t.Error("zero snapshot must report zero rates")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Observe(1, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Queries != 8000 || s.Matches != 8000 || s.Busy != 8000*time.Microsecond {
+		t.Errorf("concurrent snapshot = %+v", s)
+	}
+}

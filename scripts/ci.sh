@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI entry point: formatting, static checks, full test suite, and the
+# race-detector pass over the concurrent packages. Mirrors `make check`
+# for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race =="
+go test -race ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan
+
+echo "CI green."

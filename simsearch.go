@@ -23,10 +23,15 @@
 package simsearch
 
 import (
+	"context"
+	"time"
+
 	"simsearch/internal/core"
 	"simsearch/internal/dataset"
 	"simsearch/internal/edit"
+	"simsearch/internal/exec"
 	"simsearch/internal/filter"
+	"simsearch/internal/pool"
 	"simsearch/internal/scan"
 	"simsearch/internal/trie"
 )
@@ -89,6 +94,9 @@ type Options struct {
 	// Results are identical either way; only speed differs. The benchmark
 	// harness uses the faithful variants to reproduce the paper's tables.
 	PaperFaithful bool
+	// QueryTimeout gives every query in a Sharded batch its own deadline
+	// (see NewSharded); plain engines ignore it.
+	QueryTimeout time.Duration
 }
 
 // New constructs a search engine over data according to opts. The data
@@ -157,10 +165,68 @@ func NewIndex(data []string) Searcher {
 }
 
 // SearchBatch answers all queries with eng. Engines with their own batch
-// scheduler (the parallel Scan configurations) use it; others answer
-// serially.
+// scheduler (the parallel Scan configurations and the Sharded executor) use
+// it; others answer serially.
 func SearchBatch(eng Searcher, qs []Query) [][]Match {
 	return core.SearchBatch(eng, qs, nil)
+}
+
+// Sharded is the partition-then-merge batch executor: the dataset is split
+// into contiguous shards, each shard runs its own engine, and queries fan
+// across shards on a worker pool. Results are always identical to the
+// single-engine path; see NewSharded.
+type Sharded = exec.Sharded
+
+// QueryResult is one query's outcome in Sharded.SearchBatchContext: either
+// its complete match set or the context error that ended it.
+type QueryResult = exec.QueryResult
+
+// NewSharded partitions data into shards contiguous partitions, builds one
+// engine per shard according to opts (exactly as New does, except shard
+// engines are kept serial — parallelism comes from the executor), and
+// answers queries shard-parallel on a fixed pool of opts.Workers goroutines
+// (GOMAXPROCS when <= 0). opts.QueryTimeout, when set, bounds each query in
+// SearchBatchContext individually.
+//
+// The executor returns byte-for-byte the same matches in the same order as
+// the corresponding single engine, for every shard count; sharding changes
+// throughput, never results.
+func NewSharded(data []string, shards int, opts Options) *Sharded {
+	inner := opts
+	inner.Workers = 0
+	return exec.New(data, exec.Options{
+		Shards:       shards,
+		Factory:      func(d []string) core.Searcher { return New(d, inner) },
+		Runner:       pool.Fixed{Workers: opts.Workers},
+		QueryTimeout: opts.QueryTimeout,
+	})
+}
+
+// SearchContext answers q with eng under ctx: cancellation or deadline
+// expiry makes it return promptly with ctx.Err(). Context-aware engines
+// (Sharded, the Scan family) abandon in-flight work; other engines finish
+// the query on an abandoned goroutine.
+func SearchContext(ctx context.Context, eng Searcher, q Query) ([]Match, error) {
+	return core.SearchContext(ctx, eng, q)
+}
+
+// SearchBatchContext answers the whole batch under ctx, returning per-query
+// outcomes in input order. The Sharded executor answers shard-parallel with
+// per-query deadlines; any other engine answers serially, stopping at the
+// first cancellation.
+func SearchBatchContext(ctx context.Context, eng Searcher, qs []Query) ([]QueryResult, error) {
+	if s, ok := eng.(*Sharded); ok {
+		return s.SearchBatchContext(ctx, qs)
+	}
+	out := make([]QueryResult, len(qs))
+	for i, q := range qs {
+		ms, err := core.SearchContext(ctx, eng, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = QueryResult{Matches: ms}
+	}
+	return out, nil
 }
 
 // Verify checks eng against the paper's reference implementation (the
