@@ -1,12 +1,15 @@
 GO ?= go
 
 # Packages with nontrivial concurrency: the worker pools, the sharded
-# executor, the HTTP server, and the parallel scan engine.
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan
+# executor, the HTTP server, the parallel scan engine, and the lock-free
+# metrics primitives.
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan ./internal/metrics
 
-.PHONY: check build fmt vet test race fuzz bench clean
+FUZZ_SMOKE_TIME ?= 5s
 
-check: fmt vet test race ## everything CI runs
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench clean
+
+check: fmt vet test race fuzz-smoke ## everything CI runs
 
 build:
 	$(GO) build ./...
@@ -28,6 +31,15 @@ race:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzEnginesAgree -fuzztime=15s .
 	$(GO) test -run=NONE -fuzz=FuzzDifferential -fuzztime=15s ./internal/exec
+
+# Every fuzz target for FUZZ_SMOKE_TIME each; part of `make check`.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzEnginesAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/exec
+	$(GO) test -run=NONE -fuzz='^FuzzKernelsAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
+	$(GO) test -run=NONE -fuzz='^FuzzOpsRoundTrip$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
+	$(GO) test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lev
+	$(GO) test -run=NONE -fuzz='^FuzzReadNeverPanics$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/trie
 
 bench:
 	$(GO) test -bench . -benchmem -run=NONE .

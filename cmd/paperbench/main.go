@@ -35,6 +35,7 @@ func main() {
 		figure   = flag.Int("figure", 0, "run only this figure number (6 or 7)")
 		workload = flag.String("workload", "", "restrict to one workload: city or dna")
 		latency  = flag.Bool("latency", false, "also print per-query latency distributions (beyond the paper's totals)")
+		hist     = flag.Bool("hist", false, "dump /metrics-style latency histograms and comparison counts after each table")
 		extra    = flag.Bool("extra", false, "also run the extension experiments (join race, engine matrix)")
 		shards   = flag.Bool("shards", false, "also run the sharded-executor sweep (Table XIV), the serving-path analogue of the paper's worker sweep")
 		workers  = flag.Int("workers", 0, "pool workers for the shard sweep (default GOMAXPROCS)")
@@ -81,6 +82,23 @@ func main() {
 		id   string
 		want bool
 		run  func() *bench.Table
+		wls  []*bench.Workload // workloads the experiment measured, for -hist
+	}
+	// histDump replays a table's workload through the serving-path histogram
+	// report. The serial replay is capped at histQueries queries so the DNA
+	// workload (where a single k=16 scan query is seconds) stays in budget.
+	const histQueries = 200
+	histDump := func(wls []*bench.Workload) {
+		for _, wl := range wls {
+			sub := *wl
+			if len(sub.Queries) > histQueries {
+				sub.Queries = sub.Queries[:histQueries]
+			}
+			if wl.Name == "dna" && len(sub.Queries) > 20 {
+				sub.Queries = sub.Queries[:20]
+			}
+			bench.HistogramReport(os.Stdout, sub)
+		}
 	}
 	only := func(t, f int) bool {
 		if *table == 0 && *figure == 0 {
@@ -89,17 +107,17 @@ func main() {
 		return (*table != 0 && *table == t) || (*figure != 0 && *figure == f)
 	}
 	experiments := []experiment{
-		{"table1", only(1, 0) && needCity && needDNA, func() *bench.Table { return bench.TableI(city, dna) }},
-		{"table2", only(2, 0) && needCity, func() *bench.Table { return bench.TableII(city) }},
-		{"table3", only(3, 0) && needCity, func() *bench.Table { return bench.TableIII(city) }},
-		{"table4", only(4, 0) && needCity, func() *bench.Table { return bench.TableIV(city) }},
-		{"table5", only(5, 0) && needCity, func() *bench.Table { return bench.TableV(city) }},
-		{"table6", only(6, 0) && needDNA, func() *bench.Table { return bench.TableVI(dna) }},
-		{"table7", only(7, 0) && needDNA, func() *bench.Table { return bench.TableVII(dna) }},
-		{"table8", only(8, 0) && needDNA, func() *bench.Table { return bench.TableVIII(dna) }},
-		{"table9", only(9, 0) && needDNA, func() *bench.Table { return bench.TableIX(dna) }},
-		{"figure6", only(0, 6) && needCity, func() *bench.Table { return bench.Figure6(city) }},
-		{"figure7", only(0, 7) && needDNA, func() *bench.Table { return bench.Figure7(dna) }},
+		{"table1", only(1, 0) && needCity && needDNA, func() *bench.Table { return bench.TableI(city, dna) }, []*bench.Workload{&city, &dna}},
+		{"table2", only(2, 0) && needCity, func() *bench.Table { return bench.TableII(city) }, []*bench.Workload{&city}},
+		{"table3", only(3, 0) && needCity, func() *bench.Table { return bench.TableIII(city) }, []*bench.Workload{&city}},
+		{"table4", only(4, 0) && needCity, func() *bench.Table { return bench.TableIV(city) }, []*bench.Workload{&city}},
+		{"table5", only(5, 0) && needCity, func() *bench.Table { return bench.TableV(city) }, []*bench.Workload{&city}},
+		{"table6", only(6, 0) && needDNA, func() *bench.Table { return bench.TableVI(dna) }, []*bench.Workload{&dna}},
+		{"table7", only(7, 0) && needDNA, func() *bench.Table { return bench.TableVII(dna) }, []*bench.Workload{&dna}},
+		{"table8", only(8, 0) && needDNA, func() *bench.Table { return bench.TableVIII(dna) }, []*bench.Workload{&dna}},
+		{"table9", only(9, 0) && needDNA, func() *bench.Table { return bench.TableIX(dna) }, []*bench.Workload{&dna}},
+		{"figure6", only(0, 6) && needCity, func() *bench.Table { return bench.Figure6(city) }, []*bench.Workload{&city}},
+		{"figure7", only(0, 7) && needDNA, func() *bench.Table { return bench.Figure7(dna) }, []*bench.Workload{&dna}},
 	}
 
 	ran := 0
@@ -111,6 +129,9 @@ func main() {
 		tab := e.run()
 		tab.Render(os.Stdout)
 		fmt.Printf("[%s completed in %v; best row: %s]\n\n", e.id, time.Since(start).Round(time.Millisecond), tab.Best())
+		if *hist {
+			histDump(e.wls)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -17,6 +17,11 @@
 // per-request deadlines (-timeout), per-query deadlines in batches
 // (-querytimeout), and shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests for up to -grace.
+//
+// Observability: GET /metrics serves Prometheus text format (request and
+// error counters, latency histograms, per-shard counters). -slowquery DUR
+// logs every query slower than DUR to stderr; -pprof mounts the standard
+// profiling handlers under /debug/pprof/.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"simsearch"
 	"simsearch/internal/httpapi"
+	"simsearch/internal/metrics"
 )
 
 func main() {
@@ -47,6 +53,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request engine deadline (0 = none)")
 		qTimeout = flag.Duration("querytimeout", 0, "per-query deadline inside sharded batches (0 = none)")
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
+		slowQ    = flag.Duration("slowquery", 0, "log queries slower than this to stderr (0 = off)")
+		pprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -98,6 +106,19 @@ func main() {
 	srv.MaxK = *maxK
 	srv.MaxBatch = *maxBatch
 	srv.Timeout = *timeout
+	if *slowQ > 0 {
+		slow := metrics.NewSlowLog(os.Stderr, *slowQ)
+		slow.Register(srv.Registry())
+		srv.Slow = slow
+		if ex, ok := eng.(*simsearch.Sharded); ok {
+			ex.SetSlowLog(slow)
+		}
+		log.Printf("slow-query log enabled at threshold %v", *slowQ)
+	}
+	if *pprof {
+		srv.EnablePprof()
+		log.Print("pprof enabled under /debug/pprof/")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

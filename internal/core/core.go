@@ -69,8 +69,16 @@ func SearchContext(ctx context.Context, s Searcher, q Query) ([]Match, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return interruptible(ctx, func() []Match { return s.Search(q) })
+}
+
+// interruptible runs fn on a helper goroutine and returns its result, or
+// ctx.Err() as soon as ctx is done — without waiting for fn. The abandoned
+// goroutine finishes its work and is then collected; this is the only
+// context strategy available for engines with no internal preemption points.
+func interruptible(ctx context.Context, fn func() []Match) ([]Match, error) {
 	ch := make(chan []Match, 1)
-	go func() { ch <- s.Search(q) }()
+	go func() { ch <- fn() }()
 	select {
 	case ms := <-ch:
 		return ms, nil
@@ -195,6 +203,19 @@ func (t *Trie) SearchHamming(text string, k int) []Match {
 		out[i] = Match{ID: m.ID, Dist: m.Dist}
 	}
 	return sortMatches(out)
+}
+
+// SearchHammingContext is SearchHamming under a context: cancellation or
+// deadline expiry returns ctx.Err() promptly while the abandoned traversal
+// finishes on a helper goroutine (the trie walk has no preemption points).
+func (t *Trie) SearchHammingContext(ctx context.Context, text string, k int) ([]Match, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return t.SearchHamming(text, k), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return interruptible(ctx, func() []Match { return t.SearchHamming(text, k) })
 }
 
 // WriteTo serializes the built index (see trie.Tree.WriteTo).

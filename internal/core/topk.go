@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // TopK returns up to k of the closest dataset strings to text, ordered by
 // (distance, ID), considering only candidates within maxDist edits. It is
@@ -46,6 +49,52 @@ func TopK(s Searcher, text string, k, maxDist int) []Match {
 				ms = ms[:k]
 			}
 			return ms
+		}
+	}
+}
+
+// TopKContext is TopK under a context: cancellation or deadline expiry makes
+// it return promptly with ctx.Err(). The iterative-deepening path checks the
+// context between (and, for context-aware engines, inside) every radius
+// search; the trie best-first path has no internal preemption points, so it
+// runs interruptibly on a helper goroutine like SearchContext does for plain
+// engines.
+func TopKContext(ctx context.Context, s Searcher, text string, k, maxDist int) ([]Match, error) {
+	if k <= 0 || maxDist < 0 {
+		return nil, nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return TopK(s, text, k, maxDist), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, ok := s.(*Trie); ok {
+		return interruptible(ctx, func() []Match { return TopK(s, text, k, maxDist) })
+	}
+	for dist := 0; ; dist++ {
+		radius := dist
+		if dist > 2 {
+			radius = 2 << (dist - 2)
+		}
+		if radius > maxDist {
+			radius = maxDist
+		}
+		ms, err := SearchContext(ctx, s, Query{Text: text, K: radius})
+		if err != nil {
+			return nil, err
+		}
+		if len(ms) >= k || radius == maxDist {
+			sort.Slice(ms, func(i, j int) bool {
+				if ms[i].Dist != ms[j].Dist {
+					return ms[i].Dist < ms[j].Dist
+				}
+				return ms[i].ID < ms[j].ID
+			})
+			if len(ms) > k {
+				ms = ms[:k]
+			}
+			return ms, nil
 		}
 	}
 }

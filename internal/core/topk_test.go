@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -101,5 +103,62 @@ func TestQuickTopKMatchesReference(t *testing.T) {
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestTopKContextMatchesTopK(t *testing.T) {
+	data := []string{"berlin", "bern", "bonn", "ulm", "berlik", "munich", "muenchen"}
+	engines := []Searcher{
+		NewTrie(data, true),
+		NewSequential(data),
+		NewBKTree(data),
+	}
+	queries := []string{"berlin", "bern", "mun", "zzz", ""}
+	for _, eng := range engines {
+		for _, q := range queries {
+			want := TopK(eng, q, 3, 4)
+			got, err := TopKContext(context.Background(), eng, q, 3, 4)
+			if err != nil {
+				t.Fatalf("%s %q: %v", eng.Name(), q, err)
+			}
+			if !Equal(got, want) {
+				t.Errorf("%s %q: TopKContext = %v, TopK = %v", eng.Name(), q, got, want)
+			}
+		}
+	}
+	// Nil context takes the fast path.
+	if got, err := TopKContext(nil, engines[0], "berlin", 2, 2); err != nil || len(got) == 0 {
+		t.Errorf("nil ctx: %v, %v", got, err)
+	}
+}
+
+func TestTopKContextCancelled(t *testing.T) {
+	data := []string{"berlin", "bern"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []Searcher{NewTrie(data, true), NewSequential(data)} {
+		ms, err := TopKContext(ctx, eng, "berlin", 2, 2)
+		if !errors.Is(err, context.Canceled) || ms != nil {
+			t.Errorf("%s: got (%v, %v), want (nil, Canceled)", eng.Name(), ms, err)
+		}
+	}
+	// Degenerate arguments still short-circuit without touching ctx.
+	if ms, err := TopKContext(ctx, NewTrie(data, true), "x", 0, 2); ms != nil || err != nil {
+		t.Errorf("k=0: got (%v, %v)", ms, err)
+	}
+}
+
+func TestSearchHammingContext(t *testing.T) {
+	data := []string{"berlin", "merlin", "ulm"}
+	tr := NewTrie(data, true)
+	want := tr.SearchHamming("berlin", 1)
+	got, err := tr.SearchHammingContext(context.Background(), "berlin", 1)
+	if err != nil || !Equal(got, want) {
+		t.Fatalf("got (%v, %v), want (%v, nil)", got, err, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if ms, err := tr.SearchHammingContext(ctx, "berlin", 1); !errors.Is(err, context.Canceled) || ms != nil {
+		t.Fatalf("cancelled: got (%v, %v)", ms, err)
 	}
 }

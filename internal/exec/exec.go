@@ -18,9 +18,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"simsearch/internal/core"
+	"simsearch/internal/metrics"
 	"simsearch/internal/pool"
 	"simsearch/internal/scan"
 	"simsearch/internal/stats"
@@ -75,6 +78,10 @@ type Options struct {
 	// submission (a client-style deadline, not an execution budget). Expired
 	// queries report context.DeadlineExceeded in their QueryResult.
 	QueryTimeout time.Duration
+	// SlowLog, when non-nil, receives one line per shard task slower than
+	// its threshold (shard-level slow queries, complementing the HTTP
+	// layer's request-level slow log).
+	SlowLog *metrics.SlowLog
 }
 
 // shard is one partition: an engine over a contiguous slice of the dataset
@@ -93,6 +100,7 @@ type Sharded struct {
 	runner       pool.Runner
 	queryTimeout time.Duration
 	counters     []*stats.Counter
+	slow         *metrics.SlowLog
 	name         string
 }
 
@@ -123,12 +131,13 @@ func New(data []string, opts Options) *Sharded {
 		runner:       runner,
 		queryTimeout: opts.QueryTimeout,
 		counters:     make([]*stats.Counter, p),
+		slow:         opts.SlowLog,
 	}
 	n := len(data)
 	for i := 0; i < p; i++ {
 		lo, hi := i*n/p, (i+1)*n/p
 		s.shards[i] = shard{eng: factory(data[lo:hi]), base: int32(lo)}
-		s.counters[i] = &stats.Counter{}
+		s.counters[i] = stats.NewCounter()
 	}
 	s.name = fmt.Sprintf("sharded-%d/%s", p, s.shards[0].eng.Name())
 	return s
@@ -169,6 +178,37 @@ func (s *Sharded) ResetCounters() {
 	}
 }
 
+// SetSlowLog installs (or, with nil, removes) the shard-level slow-query
+// log. Call before serving traffic; the field is read without
+// synchronization on the hot path.
+func (s *Sharded) SetSlowLog(l *metrics.SlowLog) { s.slow = l }
+
+// RegisterMetrics exposes every shard's serving counters and latency
+// histogram on reg under simsearch_shard_* names with a shard label. The
+// registered funcs read the live counters, so one registration covers the
+// executor's whole lifetime.
+func (s *Sharded) RegisterMetrics(reg *metrics.Registry) {
+	for i, c := range s.counters {
+		c := c
+		lbl := metrics.L("shard", strconv.Itoa(i))
+		reg.CounterFunc("simsearch_shard_queries_total",
+			"Shard tasks answered, by shard.",
+			func() float64 { return float64(c.Snapshot().Queries) }, lbl)
+		reg.CounterFunc("simsearch_shard_matches_total",
+			"Matches produced, by shard.",
+			func() float64 { return float64(c.Snapshot().Matches) }, lbl)
+		reg.CounterFunc("simsearch_shard_busy_seconds_total",
+			"Cumulative time spent answering shard tasks, by shard.",
+			func() float64 { return c.Snapshot().Busy.Seconds() }, lbl)
+		reg.RegisterHistogram("simsearch_shard_task_seconds",
+			"Latency of individual shard tasks.", c.Latency(), lbl)
+		size := float64(s.shards[i].eng.Len())
+		reg.GaugeFunc("simsearch_shard_strings",
+			"Strings held, by shard.",
+			func() float64 { return size }, lbl)
+	}
+}
+
 // searchShard answers q on shard i, remaps local IDs to global IDs, and
 // records the shard's counters. A nil ctx runs the uninterruptible fast path.
 func (s *Sharded) searchShard(ctx context.Context, i int, q core.Query) ([]core.Match, error) {
@@ -187,7 +227,9 @@ func (s *Sharded) searchShard(ctx context.Context, i int, q core.Query) ([]core.
 	for j := range ms {
 		ms[j].ID += sh.base
 	}
-	s.counters[i].Observe(len(ms), time.Since(start))
+	took := time.Since(start)
+	s.counters[i].Observe(len(ms), took)
+	s.slow.Observe("", sh.eng.Name(), i, q.Text, q.K, took)
 	return ms, nil
 }
 
@@ -282,12 +324,30 @@ func (s *Sharded) SearchBatchContext(ctx context.Context, qs []core.Query) ([]Qu
 	}
 
 	qctx := make([]context.Context, n)
+	// remaining counts each query's unfinished shard tasks so its context —
+	// and with it the deadline timer — is released as soon as the query's
+	// last task resolves, not when the whole batch returns. (Deferring all n
+	// cancels pinned n timers for the batch lifetime; with thousands of
+	// queries per batch that is real memory and timer-heap pressure.)
+	var remaining []atomic.Int32
+	var cancels []context.CancelFunc
 	if s.queryTimeout > 0 {
+		remaining = make([]atomic.Int32, n)
+		cancels = make([]context.CancelFunc, n)
 		for i := range qctx {
 			c, cancel := context.WithTimeout(ctx, s.queryTimeout)
-			defer cancel()
 			qctx[i] = c
+			cancels[i] = cancel
+			remaining[i].Store(int32(p))
 		}
+		// Backstop for tasks the pool skips after a batch-level abort:
+		// CancelFunc is idempotent, so the early per-query cancel above and
+		// this deferred sweep compose.
+		defer func() {
+			for _, cancel := range cancels {
+				cancel()
+			}
+		}()
 	} else {
 		for i := range qctx {
 			qctx[i] = ctx
@@ -299,6 +359,13 @@ func (s *Sharded) SearchBatchContext(ctx context.Context, qs []core.Query) ([]Qu
 	err := pool.RunContext(ctx, s.runner, n*p, func(t int) {
 		qi := t / p
 		c := qctx[qi]
+		if cancels != nil {
+			defer func() {
+				if remaining[qi].Add(-1) == 0 {
+					cancels[qi]()
+				}
+			}()
+		}
 		if e := c.Err(); e != nil {
 			errs[t] = e
 			return

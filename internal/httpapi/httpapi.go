@@ -10,12 +10,18 @@
 //	GET  /hamming?q=TEXT&k=N       Hamming matches (trie engines only)
 //	POST /search/batch             JSON batch of queries, answered together
 //	GET  /stats                    engine, dataset, and per-shard counters
+//	GET  /metrics                  Prometheus text-format scrape endpoint
 //	GET  /healthz                  liveness probe
 //
-// The /search and /search/batch handlers run under the request context plus
-// the configured Timeout: a client disconnect or an expired deadline abandons
-// the query (promptly, for context-aware engines such as the sharded
-// executor) and reports 504. Serve/ListenAndServe add graceful shutdown.
+// Every query endpoint runs under the request context plus the configured
+// Timeout: a client disconnect or an expired deadline abandons the query
+// (promptly, for context-aware engines such as the sharded executor) and
+// reports 504. Serve/ListenAndServe add graceful shutdown.
+//
+// Every endpoint is wrapped in per-endpoint instrumentation: request and
+// error counters, a latency histogram, and an optional slow-query log, all
+// exposed on /metrics (plus per-shard counters when the engine is the
+// sharded executor).
 package httpapi
 
 import (
@@ -24,22 +30,30 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"simsearch/internal/core"
 	"simsearch/internal/dataset"
 	"simsearch/internal/exec"
+	"simsearch/internal/metrics"
 )
 
 // Server wires an engine and its dataset into an http.Handler.
 type Server struct {
-	eng  core.Searcher
-	data []string
-	mux  *http.ServeMux
+	eng      core.Searcher
+	data     []string
+	mux      *http.ServeMux
+	reg      *metrics.Registry
+	inflight *metrics.Gauge
 	// MaxK caps the accepted threshold so one request cannot trigger an
 	// effectively unbounded scan. Defaults to 16 (the paper's largest k).
 	MaxK int
+	// MaxTopK caps /topk's n: requests asking for more neighbours are
+	// clamped to this many, so one request cannot force an arbitrarily
+	// large result allocation. Defaults to 100.
+	MaxTopK int
 	// MaxBatch caps the number of queries in one /search/batch request.
 	// Defaults to 1024.
 	MaxBatch int
@@ -47,19 +61,103 @@ type Server struct {
 	// query in a batch). Zero disables the server-side deadline; the
 	// request context still cancels on client disconnect.
 	Timeout time.Duration
+	// Slow, when non-nil, logs one line per request slower than its
+	// threshold. Set before serving traffic (read without synchronization).
+	Slow *metrics.SlowLog
 }
 
 // New builds the handler. data must be the slice the engine was built over;
 // it is used to echo matched strings.
 func New(eng core.Searcher, data []string) *Server {
-	s := &Server{eng: eng, data: data, mux: http.NewServeMux(), MaxK: 16, MaxBatch: 1024}
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/search/batch", s.handleBatch)
-	s.mux.HandleFunc("/topk", s.handleTopK)
-	s.mux.HandleFunc("/hamming", s.handleHamming)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s := &Server{
+		eng: eng, data: data, mux: http.NewServeMux(),
+		MaxK: 16, MaxTopK: 100, MaxBatch: 1024,
+		reg: metrics.NewRegistry(),
+	}
+	s.inflight = s.reg.Gauge("simsearch_http_inflight_requests",
+		"Requests currently being served.")
+	s.mux.Handle("/search", s.instrument("search", s.handleSearch))
+	s.mux.Handle("/search/batch", s.instrument("batch", s.handleBatch))
+	s.mux.Handle("/topk", s.instrument("topk", s.handleTopK))
+	s.mux.Handle("/hamming", s.instrument("hamming", s.handleHamming))
+	s.mux.Handle("/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealth))
+	if ex, ok := eng.(*exec.Sharded); ok {
+		ex.RegisterMetrics(s.reg)
+	}
 	return s
+}
+
+// Registry returns the server's metric registry, so callers can register
+// additional collectors (and tests can scrape directly).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/. Off by
+// default: the profiling endpoints expose internals and cost CPU, so the
+// binary gates them behind a flag.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// statusWriter records the response code for the instrumentation wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint observability: request,
+// 4xx and 5xx counters, a latency histogram, the in-flight gauge, and the
+// slow-query log. The metric instances are resolved once at wiring time, so
+// the per-request cost is a few atomic operations.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	lbl := metrics.L("endpoint", endpoint)
+	reqs := s.reg.Counter("simsearch_http_requests_total",
+		"HTTP requests served, by endpoint.", lbl)
+	errs4 := s.reg.Counter("simsearch_http_errors_total",
+		"HTTP error responses, by endpoint and class.", lbl, metrics.L("class", "4xx"))
+	errs5 := s.reg.Counter("simsearch_http_errors_total",
+		"HTTP error responses, by endpoint and class.", lbl, metrics.L("class", "5xx"))
+	lat := s.reg.Histogram("simsearch_http_request_seconds",
+		"Request latency, by endpoint.", metrics.DefLatencyBuckets, lbl)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		took := time.Since(start)
+		reqs.Inc()
+		switch {
+		case sw.code >= 500:
+			errs5.Inc()
+		case sw.code >= 400:
+			errs4.Inc()
+		}
+		lat.Observe(took)
+		if s.Slow != nil {
+			k, _ := s.intParam(r, "k", -1)
+			s.Slow.Observe(endpoint, s.eng.Name(), -1, r.URL.Query().Get("q"), k, took)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text-format scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.reg.Handler().ServeHTTP(w, r)
 }
 
 // queryCtx derives the context a search runs under: the request context,
@@ -284,13 +382,25 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "n must be a positive integer")
 		return
 	}
+	if n > s.MaxTopK {
+		// Clamp rather than reject: the cap exists to bound the result
+		// allocation, and the closest MaxTopK neighbours are still the
+		// correct prefix of the requested answer.
+		n = s.MaxTopK
+	}
 	maxK, ok := s.intParam(r, "maxk", 4)
 	if !ok || maxK < 0 || maxK > s.MaxK {
 		s.fail(w, http.StatusBadRequest, "maxk out of range")
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	start := time.Now()
-	ms := core.TopK(s.eng, q, n, maxK)
+	ms, err := core.TopKContext(ctx, s.eng, q, n, maxK)
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	resp := SearchResponse{
 		Query: q, K: maxK,
 		Matches: s.convert(ms),
@@ -320,8 +430,14 @@ func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "k out of range")
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	start := time.Now()
-	ms := t.SearchHamming(q, k)
+	ms, err := t.SearchHammingContext(ctx, q, k)
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	resp := SearchResponse{
 		Query: q, K: k,
 		Matches: s.convert(ms),
@@ -332,12 +448,15 @@ func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
 }
 
 // ShardStatsJSON is one shard's serving counters in the /stats payload.
+// P50µS/P99µS are bucket-interpolated from the shard's latency histogram.
 type ShardStatsJSON struct {
 	Strings    int     `json:"strings"`
 	Queries    uint64  `json:"queries"`
 	Matches    uint64  `json:"matches"`
 	BusyµS     int64   `json:"busy_us"`
 	MeanµS     int64   `json:"mean_us"`
+	P50µS      int64   `json:"p50_us"`
+	P99µS      int64   `json:"p99_us"`
 	Throughput float64 `json:"throughput_qps"`
 }
 
@@ -353,6 +472,10 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	info := dataset.Stats(s.data)
 	resp := StatsResponse{
 		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
@@ -367,6 +490,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Matches:    snap.Matches,
 				BusyµS:     snap.Busy.Microseconds(),
 				MeanµS:     snap.MeanLatency().Microseconds(),
+				P50µS:      snap.Latency.Quantile(0.50).Microseconds(),
+				P99µS:      snap.Latency.Quantile(0.99).Microseconds(),
 				Throughput: snap.Throughput(),
 			})
 		}
@@ -376,6 +501,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ok\n"))
 }

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4). Registration is idempotent: asking
+// for a counter that already exists under the same name and labels returns
+// the existing instance, so wiring code can re-run safely. Registering the
+// same name with a different metric kind panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help, kind string
+	series           map[string]*series // by canonical label key
+	order            []*series
+}
+
+// series is one labelled instance within a family. Exactly one of the
+// value sources is set.
+type series struct {
+	key   string // canonical label rendering, "" when unlabelled
+	ctr   *Counter
+	gauge *Gauge
+	hist  *Histogram
+	fn    func() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family for name, creating it with the given kind, and
+// the existing series under key (nil if absent).
+func (r *Registry) lookup(name, help, kind, key string) (*family, *series) {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, f)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f, f.series[key]
+}
+
+func (f *family) add(s *series) {
+	f.series[s.key] = s
+	f.order = append(f.order, s)
+}
+
+// Counter registers (or returns the existing) counter under name and labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "counter", labelKey(labels))
+	if s != nil {
+		return s.ctr
+	}
+	c := &Counter{}
+	f.add(&series{key: labelKey(labels), ctr: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "gauge", labelKey(labels))
+	if s != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.add(&series{key: labelKey(labels), gauge: g})
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram under name and
+// labels, with the given bucket bounds (DefLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "histogram", labelKey(labels))
+	if s != nil {
+		return s.hist
+	}
+	h := NewHistogram(bounds)
+	f.add(&series{key: labelKey(labels), hist: h})
+	return h
+}
+
+// RegisterHistogram exposes an externally owned histogram (e.g. a shard
+// counter's latency histogram) under name and labels. Re-registering the
+// same name+labels replaces nothing and keeps the first instance.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "histogram", labelKey(labels))
+	if s != nil {
+		return
+	}
+	f.add(&series{key: labelKey(labels), hist: h})
+}
+
+// CounterFunc exposes a counter whose value is read from fn at scrape time
+// (used to export counters owned by other packages without duplication).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "counter", labelKey(labels))
+	if s != nil {
+		return
+	}
+	f.add(&series{key: labelKey(labels), fn: fn})
+}
+
+// GaugeFunc exposes a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, "gauge", labelKey(labels))
+	if s != nil {
+		return
+	}
+	f.add(&series{key: labelKey(labels), fn: fn})
+}
+
+// WriteTo renders every registered family in the Prometheus text format.
+// Families appear in registration order; series within a family in
+// registration order. The scrape is not atomic across metrics (each value is
+// loaded individually), which is exactly the consistency Prometheus expects.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.order {
+			s.write(&sb, f.name)
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// write renders one series.
+func (s *series) write(sb *strings.Builder, name string) {
+	switch {
+	case s.ctr != nil:
+		writeSample(sb, name, s.key, "", float64(s.ctr.Value()))
+	case s.gauge != nil:
+		writeSample(sb, name, s.key, "", float64(s.gauge.Value()))
+	case s.fn != nil:
+		writeSample(sb, name, s.key, "", s.fn())
+	case s.hist != nil:
+		snap := s.hist.Snapshot()
+		var cum uint64
+		for i, b := range snap.Bounds {
+			cum += snap.Counts[i]
+			writeSample(sb, name+"_bucket", s.key,
+				`le="`+formatFloat(b.Seconds())+`"`, float64(cum))
+		}
+		writeSample(sb, name+"_bucket", s.key, `le="+Inf"`, float64(snap.Count))
+		writeSample(sb, name+"_sum", s.key, "", snap.Sum.Seconds())
+		writeSample(sb, name+"_count", s.key, "", float64(snap.Count))
+	}
+}
+
+// writeSample renders one `name{labels} value` line. extra is an extra
+// pre-rendered label (the histogram le) appended after the series labels.
+func writeSample(sb *strings.Builder, name, key, extra string, v float64) {
+	sb.WriteString(name)
+	if key != "" || extra != "" {
+		sb.WriteByte('{')
+		sb.WriteString(key)
+		if key != "" && extra != "" {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatFloat(v))
+	sb.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as a text-format
+// scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// Names returns the registered family names in registration order (for
+// tests and debug listings).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	for i, f := range r.order {
+		out[i] = f.name
+	}
+	return out
+}

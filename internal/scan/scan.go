@@ -89,6 +89,7 @@ type Engine struct {
 	strategy Strategy
 	workers  int
 	adaptive *pool.Adaptive
+	comps    CompCounter // nil unless WithComparisonCounter
 
 	// banded selects the modern banded kernel instead of the paper's
 	// full-width §3.2 kernel for rungs FastED and above.
@@ -100,8 +101,24 @@ type Engine struct {
 	lenPref []int32 // lenPref[l] = first index in byLen with length >= l
 }
 
+// CompCounter receives per-query comparison counts. metrics.Counter
+// implements it; the interface keeps this package free of a metrics
+// dependency.
+type CompCounter interface {
+	Add(n uint64)
+}
+
 // Option configures an Engine.
 type Option func(*Engine)
+
+// WithComparisonCounter attaches a comparison counter: after every query the
+// number of per-pair kernel invocations it performed is added to c (one
+// atomic add per query, nothing on the per-pair hot path). Comparisons are
+// the paper's cost unit — the count shows directly how much work the length
+// window and sorting optimizations save.
+func WithComparisonCounter(c CompCounter) Option {
+	return func(e *Engine) { e.comps = c }
+}
 
 // WithStrategy selects the optimization-ladder rung (default SimpleTypes,
 // the best serial configuration).
@@ -211,6 +228,14 @@ func (e *Engine) searchCtx(ctx context.Context, q Query, scratch *edit.Scratch) 
 	var out []Match
 	emit := func(id int32, d int) { out = append(out, Match{ID: id, Dist: d}) }
 
+	// pairs counts kernel invocations locally; the single atomic add per
+	// query happens at return (including the cancellation returns, so a
+	// partial scan's work is still accounted for).
+	var pairs uint64
+	if e.comps != nil {
+		defer func() { e.comps.Add(pairs) }()
+	}
+
 	kernel := e.kernel(scratch)
 	seen := 0
 	check := func() bool {
@@ -242,6 +267,7 @@ func (e *Engine) searchCtx(ctx context.Context, q Query, scratch *edit.Scratch) 
 				if check() {
 					return nil, ctx.Err()
 				}
+				pairs++
 				if d, ok := kernel(q.Text, e.data[id], q.K); ok {
 					emit(id, d)
 				}
@@ -254,6 +280,7 @@ func (e *Engine) searchCtx(ctx context.Context, q Query, scratch *edit.Scratch) 
 		if check() {
 			return nil, ctx.Err()
 		}
+		pairs++
 		if d, ok := kernel(q.Text, s, q.K); ok {
 			emit(int32(i), d)
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -166,5 +167,35 @@ func TestQuickStrategiesEquivalent(t *testing.T) {
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+// compCounter is a CompCounter stub (atomic, since parallel rungs add from
+// pool workers).
+type compCounter struct{ n atomic.Uint64 }
+
+func (c *compCounter) Add(n uint64) { c.n.Add(n) }
+
+func TestComparisonCounter(t *testing.T) {
+	data := []string{"aa", "ab", "abcd", "abcdefgh"}
+	var c compCounter
+	e := New(data, WithComparisonCounter(&c))
+	e.Search(Query{Text: "ab", K: 1})
+	// The unsorted scan invokes the kernel once per dataset string.
+	if got := c.n.Load(); got != uint64(len(data)) {
+		t.Fatalf("comparisons = %d, want %d", got, len(data))
+	}
+	// With the length window, only the two strings with len in [1,3] are
+	// compared at all.
+	var cs compCounter
+	es := New(data, WithSortByLength(), WithComparisonCounter(&cs))
+	es.Search(Query{Text: "ab", K: 1})
+	if got := cs.n.Load(); got != 2 {
+		t.Fatalf("sorted comparisons = %d, want 2", got)
+	}
+	// Batches accumulate across queries.
+	e.SearchBatch([]Query{{Text: "ab", K: 1}, {Text: "zz", K: 0}})
+	if got := c.n.Load(); got != uint64(3*len(data)) {
+		t.Fatalf("after batch: comparisons = %d, want %d", got, 3*len(data))
 	}
 }

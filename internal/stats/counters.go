@@ -3,47 +3,75 @@ package stats
 import (
 	"sync/atomic"
 	"time"
+
+	"simsearch/internal/metrics"
 )
 
 // Counter accumulates lock-free per-shard serving metrics: how many queries a
 // shard has answered, how many matches it produced, and how long it has been
 // busy. All methods are safe for concurrent use; the executor calls Observe
 // from whichever pool worker happens to run the shard task.
+//
+// A Counter built with NewCounter additionally keeps a fixed-bucket latency
+// histogram (the totals say how busy a shard was; the histogram says how that
+// time was distributed across queries). The zero value still works and skips
+// the histogram.
 type Counter struct {
 	queries atomic.Uint64
 	matches atomic.Uint64
 	busy    atomic.Int64 // cumulative nanoseconds inside Search
+	lat     *metrics.Histogram
 }
+
+// NewCounter builds a counter with a latency histogram over the default
+// serving buckets.
+func NewCounter() *Counter {
+	return &Counter{lat: metrics.NewHistogram(metrics.DefLatencyBuckets)}
+}
+
+// Latency returns the counter's latency histogram (nil for zero-value
+// counters).
+func (c *Counter) Latency() *metrics.Histogram { return c.lat }
 
 // Observe records one answered query that produced matches results and took d.
 func (c *Counter) Observe(matches int, d time.Duration) {
 	c.queries.Add(1)
 	c.matches.Add(uint64(matches))
 	c.busy.Add(int64(d))
+	if c.lat != nil {
+		c.lat.Observe(d)
+	}
 }
 
 // Snapshot returns a consistent-enough point-in-time copy for reporting.
 // (Fields are read individually; the counter keeps running underneath.)
 func (c *Counter) Snapshot() CounterSnapshot {
-	return CounterSnapshot{
+	s := CounterSnapshot{
 		Queries: c.queries.Load(),
 		Matches: c.matches.Load(),
 		Busy:    time.Duration(c.busy.Load()),
 	}
+	if c.lat != nil {
+		s.Latency = c.lat.Snapshot()
+	}
+	return s
 }
 
-// Reset zeroes the counter.
+// Reset zeroes the totals. The latency histogram is monotone scrape state
+// (Prometheus counters must never go backwards) and is left untouched.
 func (c *Counter) Reset() {
 	c.queries.Store(0)
 	c.matches.Store(0)
 	c.busy.Store(0)
 }
 
-// CounterSnapshot is a point-in-time copy of a Counter.
+// CounterSnapshot is a point-in-time copy of a Counter. Latency is the
+// histogram snapshot (zero Count when the counter has no histogram).
 type CounterSnapshot struct {
-	Queries uint64        `json:"queries"`
-	Matches uint64        `json:"matches"`
-	Busy    time.Duration `json:"busy_ns"`
+	Queries uint64                    `json:"queries"`
+	Matches uint64                    `json:"matches"`
+	Busy    time.Duration             `json:"busy_ns"`
+	Latency metrics.HistogramSnapshot `json:"-"`
 }
 
 // Throughput returns queries per second of busy time (0 when idle).

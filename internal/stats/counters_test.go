@@ -33,6 +33,31 @@ func TestCounterZeroValues(t *testing.T) {
 	}
 }
 
+func TestCounterHistogram(t *testing.T) {
+	c := NewCounter()
+	if c.Latency() == nil {
+		t.Fatal("NewCounter has no latency histogram")
+	}
+	c.Observe(1, 200*time.Microsecond)
+	c.Observe(2, 30*time.Millisecond)
+	s := c.Snapshot()
+	if s.Latency.Count != 2 {
+		t.Fatalf("latency count = %d, want 2", s.Latency.Count)
+	}
+	if s.Latency.Sum != 30200*time.Microsecond {
+		t.Errorf("latency sum = %v", s.Latency.Sum)
+	}
+	if p99 := s.Latency.Quantile(0.99); p99 < time.Millisecond {
+		t.Errorf("p99 = %v, want in the tens of milliseconds", p99)
+	}
+	// Reset keeps the histogram monotone for scrapers but zeroes the totals.
+	c.Reset()
+	s = c.Snapshot()
+	if s.Queries != 0 || s.Latency.Count != 2 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
 func TestCounterConcurrent(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

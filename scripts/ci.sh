@@ -1,7 +1,7 @@
 #!/bin/sh
-# CI entry point: formatting, static checks, full test suite, and the
-# race-detector pass over the concurrent packages. Mirrors `make check`
-# for environments without make.
+# CI entry point: formatting, static checks, full test suite, the
+# race-detector pass over the concurrent packages, and a short fuzz smoke
+# of every fuzz target. Mirrors `make check` for environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +24,14 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan
+go test -race ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan ./internal/metrics
+
+echo "== fuzz smoke =="
+go test -run=NONE -fuzz='^FuzzEnginesAgree$' -fuzztime=5s .
+go test -run=NONE -fuzz='^FuzzDifferential$' -fuzztime=5s ./internal/exec
+go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit
+go test -run=NONE -fuzz='^FuzzOpsRoundTrip$' -fuzztime=5s ./internal/edit
+go test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$' -fuzztime=5s ./internal/lev
+go test -run=NONE -fuzz='^FuzzReadNeverPanics$' -fuzztime=5s ./internal/trie
 
 echo "CI green."
