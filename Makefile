@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with nontrivial concurrency: the worker pools, the sharded
-# executor, the HTTP server, the parallel scan engine, and the lock-free
-# metrics primitives.
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan ./internal/metrics
+# executor, the result cache and its coalescer, the HTTP server, the parallel
+# scan engine, and the lock-free metrics primitives.
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -36,6 +36,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzEnginesAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/exec
+	$(GO) test -run=NONE -fuzz='^FuzzCachedIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/cache
 	$(GO) test -run=NONE -fuzz='^FuzzKernelsAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
 	$(GO) test -run=NONE -fuzz='^FuzzOpsRoundTrip$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
 	$(GO) test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lev

@@ -1,0 +1,92 @@
+package simsearch_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"simsearch"
+)
+
+func TestNewCachedTransparent(t *testing.T) {
+	data := simsearch.GenerateCities(400, 5)
+	queries := simsearch.GenerateQueries(data, 20, 2, 7)
+
+	bare := simsearch.NewScan(data)
+	cached := simsearch.NewCached(simsearch.NewScan(data), 64)
+	if !strings.HasPrefix(cached.Name(), "cached/") {
+		t.Errorf("Name() = %q", cached.Name())
+	}
+	for _, text := range queries {
+		q := simsearch.Query{Text: text, K: 2}
+		want := bare.Search(q)
+		if got := cached.Search(q); !matchesEqual(got, want) {
+			t.Fatalf("cold cached search diverges on %q", text)
+		}
+		if got := cached.Search(q); !matchesEqual(got, want) {
+			t.Fatalf("warm cached search diverges on %q", text)
+		}
+	}
+	st := cached.Stats()
+	if st.Hits != uint64(len(queries)) || st.Misses != uint64(len(queries)) {
+		t.Errorf("stats = %+v, want %d hits / %d misses", st, len(queries), len(queries))
+	}
+}
+
+func TestOptionsCacheSize(t *testing.T) {
+	data := simsearch.GenerateCities(200, 5)
+	eng := simsearch.New(data, simsearch.Options{CacheSize: 32})
+	c, ok := eng.(*simsearch.Cached)
+	if !ok {
+		t.Fatalf("Options.CacheSize did not wrap the engine: %T", eng)
+	}
+	q := simsearch.Query{Text: data[0], K: 1}
+	c.Search(q)
+	c.Search(q)
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 hit", st)
+	}
+	// CacheSize 0 stays bare.
+	if _, ok := simsearch.New(data, simsearch.Options{}).(*simsearch.Cached); ok {
+		t.Error("zero CacheSize still wrapped the engine")
+	}
+}
+
+func TestCachedShardedBatch(t *testing.T) {
+	data := simsearch.GenerateCities(300, 5)
+	queries := simsearch.GenerateQueries(data, 10, 2, 9)
+	bare := simsearch.NewScan(data)
+	cached := simsearch.NewCached(simsearch.NewSharded(data, 4, simsearch.Options{}), 64)
+
+	qs := make([]simsearch.Query, len(queries))
+	for i, text := range queries {
+		qs[i] = simsearch.Query{Text: text, K: 2}
+	}
+	// Twice: the second pass must be all hits, still identical.
+	for pass := 0; pass < 2; pass++ {
+		res, err := simsearch.SearchBatchContext(context.Background(), cached, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			if res[i].Err != nil || !matchesEqual(res[i].Matches, bare.Search(q)) {
+				t.Fatalf("pass %d batch[%d] diverges on %q: %+v", pass, i, q.Text, res[i])
+			}
+		}
+	}
+	if st := cached.Stats(); st.Hits == 0 {
+		t.Errorf("second batch pass produced no hits: %+v", st)
+	}
+}
+
+func matchesEqual(a, b []simsearch.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -15,8 +15,13 @@
 // (per-shard engines selected by -engine) and batches are answered
 // shard-parallel; /stats then reports per-shard counters. The server honors
 // per-request deadlines (-timeout), per-query deadlines in batches
-// (-querytimeout), and shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests for up to -grace.
+// (-querytimeout, on the sharded and the serial path alike), and shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests for up to -grace.
+//
+// -cache puts a query-result cache with request coalescing in front of the
+// engine (capacity -cachesize entries): repeated queries skip the engine
+// entirely and concurrent identical queries trigger exactly one search.
+// /stats and /metrics report hit/miss/eviction/coalesced counters.
 //
 // Observability: GET /metrics serves Prometheus text format (request and
 // error counters, latency histograms, per-shard counters). -slowquery DUR
@@ -51,7 +56,9 @@ func main() {
 		maxK     = flag.Int("maxk", 16, "largest accepted edit threshold")
 		maxBatch = flag.Int("maxbatch", 1024, "largest accepted /search/batch size")
 		timeout  = flag.Duration("timeout", 0, "per-request engine deadline (0 = none)")
-		qTimeout = flag.Duration("querytimeout", 0, "per-query deadline inside sharded batches (0 = none)")
+		qTimeout = flag.Duration("querytimeout", 0, "per-query deadline inside batches (0 = none)")
+		cacheOn  = flag.Bool("cache", false, "serve repeated queries from a result cache with request coalescing")
+		cacheSz  = flag.Int("cachesize", 4096, "result-cache capacity in entries (with -cache)")
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
 		slowQ    = flag.Duration("slowquery", 0, "log queries slower than this to stderr (0 = off)")
 		pprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -93,12 +100,17 @@ func main() {
 
 	start := time.Now()
 	var eng simsearch.Searcher
+	var ex *simsearch.Sharded
 	if *shards > 0 {
-		ex := simsearch.NewSharded(data, *shards, opts)
+		ex = simsearch.NewSharded(data, *shards, opts)
 		log.Printf("sharded executor: %d shards, sizes %v", ex.NumShards(), ex.ShardSizes())
 		eng = ex
 	} else {
 		eng = simsearch.New(data, opts)
+	}
+	if *cacheOn {
+		eng = simsearch.NewCached(eng, *cacheSz)
+		log.Printf("result cache enabled: %d entries", *cacheSz)
 	}
 	log.Printf("engine %s over %d strings built in %v", eng.Name(), len(data), time.Since(start))
 
@@ -106,11 +118,12 @@ func main() {
 	srv.MaxK = *maxK
 	srv.MaxBatch = *maxBatch
 	srv.Timeout = *timeout
+	srv.QueryTimeout = *qTimeout
 	if *slowQ > 0 {
 		slow := metrics.NewSlowLog(os.Stderr, *slowQ)
 		slow.Register(srv.Registry())
 		srv.Slow = slow
-		if ex, ok := eng.(*simsearch.Sharded); ok {
+		if ex != nil {
 			ex.SetSlowLog(slow)
 		}
 		log.Printf("slow-query log enabled at threshold %v", *slowQ)

@@ -346,6 +346,24 @@ type Batcher interface {
 	SearchBatch(qs []Query) [][]Match
 }
 
+// QueryResult is one query's outcome in a context batch: either its complete
+// match set or the error (context.Canceled, context.DeadlineExceeded, …) that
+// ended it.
+type QueryResult struct {
+	Matches []Match
+	Err     error
+}
+
+// ContextBatcher is implemented by engines that answer whole batches under a
+// context with per-query outcomes: the sharded executor (shard-parallel, with
+// per-query deadlines) and the result cache (hits answered locally, misses
+// forwarded as one sub-batch). Cancelling ctx abandons the batch and returns
+// ctx.Err(); per-query failures are reported in the QueryResult instead.
+type ContextBatcher interface {
+	Searcher
+	SearchBatchContext(ctx context.Context, qs []Query) ([]QueryResult, error)
+}
+
 // SearchBatch answers every query with s. If runner is nil, the engine's own
 // batch scheduler is used when available, otherwise queries run serially.
 // A non-nil runner overrides the schedule (used for the Tables IV/VIII

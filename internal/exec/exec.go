@@ -300,10 +300,7 @@ func (s *Sharded) SearchBatch(qs []core.Query) [][]core.Match {
 
 // QueryResult is one query's outcome in a context batch: either its complete
 // match set or the context error (Canceled or DeadlineExceeded) that ended it.
-type QueryResult struct {
-	Matches []core.Match
-	Err     error
-}
+type QueryResult = core.QueryResult
 
 // SearchBatchContext answers the batch under ctx. Cancelling ctx abandons the
 // whole batch and returns ctx.Err(); a configured QueryTimeout instead expires

@@ -16,7 +16,15 @@
 // Every query endpoint runs under the request context plus the configured
 // Timeout: a client disconnect or an expired deadline abandons the query
 // (promptly, for context-aware engines such as the sharded executor) and
-// reports 504. Serve/ListenAndServe add graceful shutdown.
+// reports 504. Query texts over MaxQueryLen get 400, /search/batch bodies
+// over MaxBody get 413, and a failing query inside a batch reports its own
+// per-result error instead of failing the whole batch — on the sharded and
+// the serial path alike. Serve/ListenAndServe add graceful shutdown.
+//
+// When the engine is wrapped in a result cache (internal/cache), hits are
+// served before any executor work, and /stats and /metrics expose the
+// cache's hit/miss/eviction/coalesced counters alongside the per-shard
+// counters of a cached sharded engine.
 //
 // Every endpoint is wrapped in per-endpoint instrumentation: request and
 // error counters, a latency histogram, and an optional slow-query log, all
@@ -34,6 +42,7 @@ import (
 	"strconv"
 	"time"
 
+	"simsearch/internal/cache"
 	"simsearch/internal/core"
 	"simsearch/internal/dataset"
 	"simsearch/internal/exec"
@@ -57,10 +66,26 @@ type Server struct {
 	// MaxBatch caps the number of queries in one /search/batch request.
 	// Defaults to 1024.
 	MaxBatch int
+	// MaxQueryLen caps the byte length of a query text on every query
+	// endpoint: the DP cost of a single comparison grows with the query
+	// length, so an oversize q is rejected with 400 before any engine work.
+	// Defaults to 1024.
+	MaxQueryLen int
+	// MaxBody caps the /search/batch request body in bytes, enforced by
+	// http.MaxBytesReader while the JSON decoder streams — the MaxBatch
+	// check alone would run only after an arbitrarily large body had been
+	// read. Oversize bodies get 413. Defaults to 1 MiB.
+	MaxBody int64
 	// Timeout bounds the engine time of a single request (and of every
 	// query in a batch). Zero disables the server-side deadline; the
 	// request context still cancels on client disconnect.
 	Timeout time.Duration
+	// QueryTimeout, when positive, gives every query in a /search/batch
+	// request its own deadline on the serial (non-sharded) path, so one
+	// slow query reports its own error instead of starving the rest of the
+	// batch. The sharded executor applies its own exec.Options.QueryTimeout
+	// instead.
+	QueryTimeout time.Duration
 	// Slow, when non-nil, logs one line per request slower than its
 	// threshold. Set before serving traffic (read without synchronization).
 	Slow *metrics.SlowLog
@@ -72,6 +97,7 @@ func New(eng core.Searcher, data []string) *Server {
 	s := &Server{
 		eng: eng, data: data, mux: http.NewServeMux(),
 		MaxK: 16, MaxTopK: 100, MaxBatch: 1024,
+		MaxQueryLen: 1024, MaxBody: 1 << 20,
 		reg: metrics.NewRegistry(),
 	}
 	s.inflight = s.reg.Gauge("simsearch_http_inflight_requests",
@@ -83,10 +109,37 @@ func New(eng core.Searcher, data []string) *Server {
 	s.mux.Handle("/stats", s.instrument("stats", s.handleStats))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealth))
-	if ex, ok := eng.(*exec.Sharded); ok {
-		ex.RegisterMetrics(s.reg)
+	// Register engine-owned metrics for every layer of the decorator chain
+	// (the result cache exports simsearch_cache_*, the sharded executor
+	// simsearch_shard_*; a cached sharded engine exports both).
+	for e := eng; e != nil; {
+		if rm, ok := e.(interface{ RegisterMetrics(*metrics.Registry) }); ok {
+			rm.RegisterMetrics(s.reg)
+		}
+		u, ok := e.(interface{ Unwrap() core.Searcher })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
 	}
 	return s
+}
+
+// engineAs walks the engine decorator chain (via Unwrap) looking for a layer
+// of type T, e.g. the sharded executor underneath the result cache.
+func engineAs[T any](eng core.Searcher) (T, bool) {
+	for e := eng; e != nil; {
+		if t, ok := e.(T); ok {
+			return t, true
+		}
+		u, ok := e.(interface{ Unwrap() core.Searcher })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	var zero T
+	return zero, false
 }
 
 // Registry returns the server's metric registry, so callers can register
@@ -221,6 +274,17 @@ func (s *Server) intParam(r *http.Request, name string, def int) (int, bool) {
 	return n, true
 }
 
+// queryLenOK rejects query texts over MaxQueryLen with 400: per-comparison
+// DP cost grows with len(q), so the bound must hold before any engine work.
+func (s *Server) queryLenOK(w http.ResponseWriter, q string) bool {
+	if s.MaxQueryLen > 0 && len(q) > s.MaxQueryLen {
+		s.fail(w, http.StatusBadRequest,
+			"query text exceeds the configured maximum of "+strconv.Itoa(s.MaxQueryLen)+" bytes")
+		return false
+	}
+	return true
+}
+
 func (s *Server) convert(ms []core.Match) []MatchJSON {
 	out := make([]MatchJSON, len(ms))
 	for i, m := range ms {
@@ -237,6 +301,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	if !s.queryLenOK(w, q) {
 		return
 	}
 	k, ok := s.intParam(r, "k", 2)
@@ -297,8 +364,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	body := r.Body
+	if s.MaxBody > 0 {
+		// Cap the body while the decoder streams: without this, the
+		// MaxBatch check would run only after an arbitrarily large body
+		// had already been read into memory.
+		body = http.MaxBytesReader(w, r.Body, s.MaxBody)
+	}
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the configured maximum of "+
+					strconv.FormatInt(tooBig.Limit, 10)+" bytes")
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
@@ -314,6 +395,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, bq := range req.Queries {
 		if bq.Q == "" {
 			s.fail(w, http.StatusBadRequest, "empty q in batch")
+			return
+		}
+		if !s.queryLenOK(w, bq.Q) {
 			return
 		}
 		k := 2
@@ -349,20 +433,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// searchBatch answers qs under ctx: the sharded executor runs its own
-// shard-parallel scheduler with per-query deadlines; any other engine
-// answers serially under the batch deadline.
-func (s *Server) searchBatch(ctx context.Context, qs []core.Query) ([]exec.QueryResult, error) {
-	if ex, ok := s.eng.(*exec.Sharded); ok {
-		return ex.SearchBatchContext(ctx, qs)
+// searchBatch answers qs under ctx. Context-batching engines (the sharded
+// executor, the result cache) run their own scheduler with per-query
+// outcomes; any other engine answers serially. Both paths report per-query
+// errors in the results — a failing query never fails the whole batch. Only
+// the batch context itself going dead (deadline or disconnect) aborts the
+// request, exactly as the executor's pool does.
+func (s *Server) searchBatch(ctx context.Context, qs []core.Query) ([]core.QueryResult, error) {
+	if cb, ok := s.eng.(core.ContextBatcher); ok {
+		return cb.SearchBatchContext(ctx, qs)
 	}
-	out := make([]exec.QueryResult, len(qs))
+	out := make([]core.QueryResult, len(qs))
 	for i, q := range qs {
-		ms, err := core.SearchContext(ctx, s.eng, q)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out[i] = exec.QueryResult{Matches: ms}
+		qctx := ctx
+		var cancel context.CancelFunc
+		if s.QueryTimeout > 0 {
+			qctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
+		}
+		ms, err := core.SearchContext(qctx, s.eng, q)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out[i] = core.QueryResult{Err: err}
+			continue
+		}
+		out[i] = core.QueryResult{Matches: ms}
 	}
 	return out, nil
 }
@@ -375,6 +477,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	if !s.queryLenOK(w, q) {
 		return
 	}
 	n, ok := s.intParam(r, "n", 5)
@@ -415,7 +520,9 @@ func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	t, ok := s.eng.(*core.Trie)
+	// Walk the decorator chain: a cache-wrapped trie still serves Hamming
+	// (straight from the trie — the cache keys edit-distance results only).
+	t, ok := engineAs[*core.Trie](s.eng)
 	if !ok {
 		s.fail(w, http.StatusNotImplemented, "hamming search requires a trie engine")
 		return
@@ -423,6 +530,9 @@ func (s *Server) handleHamming(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	if !s.queryLenOK(w, q) {
 		return
 	}
 	k, okParam := s.intParam(r, "k", 2)
@@ -460,6 +570,17 @@ type ShardStatsJSON struct {
 	Throughput float64 `json:"throughput_qps"`
 }
 
+// CacheStatsJSON is the result-cache section of the /stats payload.
+type CacheStatsJSON struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Engine  string           `json:"engine"`
@@ -468,6 +589,7 @@ type StatsResponse struct {
 	MinLen  int              `json:"min_len"`
 	AvgLen  float64          `json:"avg_len"`
 	MaxLen  int              `json:"max_len"`
+	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
 	Shards  []ShardStatsJSON `json:"shards,omitempty"`
 }
 
@@ -481,7 +603,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
 		MinLen: info.MinLen, AvgLen: info.AvgLen, MaxLen: info.MaxLen,
 	}
-	if ex, ok := s.eng.(*exec.Sharded); ok {
+	if c, ok := engineAs[*cache.Cache](s.eng); ok {
+		cs := c.Stats()
+		resp.Cache = &CacheStatsJSON{
+			Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions, Entries: cs.Entries, Capacity: cs.Capacity,
+			HitRate: cs.HitRate(),
+		}
+	}
+	if ex, ok := engineAs[*exec.Sharded](s.eng); ok {
 		sizes := ex.ShardSizes()
 		for i, snap := range ex.CounterSnapshots() {
 			resp.Shards = append(resp.Shards, ShardStatsJSON{

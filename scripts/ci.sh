@@ -24,11 +24,12 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/httpapi ./internal/scan ./internal/metrics
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics
 
 echo "== fuzz smoke =="
 go test -run=NONE -fuzz='^FuzzEnginesAgree$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzDifferential$' -fuzztime=5s ./internal/exec
+go test -run=NONE -fuzz='^FuzzCachedIdentical$' -fuzztime=5s ./internal/cache
 go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit
 go test -run=NONE -fuzz='^FuzzOpsRoundTrip$' -fuzztime=5s ./internal/edit
 go test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$' -fuzztime=5s ./internal/lev

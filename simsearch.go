@@ -26,6 +26,7 @@ import (
 	"context"
 	"time"
 
+	"simsearch/internal/cache"
 	"simsearch/internal/core"
 	"simsearch/internal/dataset"
 	"simsearch/internal/edit"
@@ -97,11 +98,26 @@ type Options struct {
 	// QueryTimeout gives every query in a Sharded batch its own deadline
 	// (see NewSharded); plain engines ignore it.
 	QueryTimeout time.Duration
+	// CacheSize > 0 wraps the engine in a query-result cache with this
+	// many entries (see NewCached): repeated queries are answered from a
+	// sharded LRU and concurrent identical queries are coalesced into one
+	// engine search. Results are always byte-identical to the uncached
+	// engine.
+	CacheSize int
 }
 
 // New constructs a search engine over data according to opts. The data
 // slice is retained; string i is reported as Match.ID == i.
 func New(data []string, opts Options) Searcher {
+	eng := newEngine(data, opts)
+	if opts.CacheSize > 0 {
+		return NewCached(eng, opts.CacheSize)
+	}
+	return eng
+}
+
+// newEngine builds the bare (uncached) engine for New.
+func newEngine(data []string, opts Options) Searcher {
 	switch opts.Algorithm {
 	case Trie:
 		var topts []trie.Option
@@ -194,12 +210,40 @@ type QueryResult = exec.QueryResult
 func NewSharded(data []string, shards int, opts Options) *Sharded {
 	inner := opts
 	inner.Workers = 0
+	// A cache belongs above the shard fan-out, not inside every shard
+	// (wrap the returned executor with NewCached); shard engines stay bare.
+	inner.CacheSize = 0
 	return exec.New(data, exec.Options{
 		Shards:       shards,
 		Factory:      func(d []string) core.Searcher { return New(d, inner) },
 		Runner:       pool.Fixed{Workers: opts.Workers},
 		QueryTimeout: opts.QueryTimeout,
 	})
+}
+
+// Cached is the query-result cache decorator: a sharded LRU keyed on
+// (query text, k, engine name, dataset version) with request coalescing.
+// See NewCached.
+type Cached = cache.Cache
+
+// CacheStats is a point-in-time snapshot of a Cached engine's counters
+// (hits, misses, coalesced lookups, evictions, occupancy).
+type CacheStats = cache.Stats
+
+// NewCached wraps eng in a query-result cache holding up to capacity results
+// (capacity <= 0 selects the default 4096). Hits are answered from a sharded
+// LRU without touching the engine; concurrent identical queries coalesce
+// into exactly one engine search; batch queries answer hits locally and
+// forward only the unique misses to the engine's own batch scheduler. The
+// cached engine returns byte-identical matches to eng for every query — a
+// differential fuzz harness enforces this — and every caller receives its
+// own copy of the match slice.
+//
+// Use Cached.SetVersion after mutating the underlying dataset: the version
+// participates in the cache key, so a bump atomically retires every stale
+// entry. Cached.Stats and Cached.Flush complete the management surface.
+func NewCached(eng Searcher, capacity int) *Cached {
+	return cache.New(eng, cache.Options{Capacity: capacity})
 }
 
 // SearchContext answers q with eng under ctx: cancellation or deadline
@@ -211,11 +255,12 @@ func SearchContext(ctx context.Context, eng Searcher, q Query) ([]Match, error) 
 }
 
 // SearchBatchContext answers the whole batch under ctx, returning per-query
-// outcomes in input order. The Sharded executor answers shard-parallel with
-// per-query deadlines; any other engine answers serially, stopping at the
-// first cancellation.
+// outcomes in input order. Context-batching engines (the Sharded executor —
+// shard-parallel with per-query deadlines — and Cached engines, which answer
+// hits locally) run their own scheduler; any other engine answers serially,
+// stopping at the first cancellation.
 func SearchBatchContext(ctx context.Context, eng Searcher, qs []Query) ([]QueryResult, error) {
-	if s, ok := eng.(*Sharded); ok {
+	if s, ok := eng.(core.ContextBatcher); ok {
 		return s.SearchBatchContext(ctx, qs)
 	}
 	out := make([]QueryResult, len(qs))
