@@ -7,9 +7,9 @@ RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi 
 
 FUZZ_SMOKE_TIME ?= 5s
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench clean
+.PHONY: check build fmt vet test race fuzz fuzz-smoke bench bench-smoke clean
 
-check: fmt vet test race fuzz-smoke ## everything CI runs
+check: fmt vet test race bench-smoke fuzz-smoke ## everything CI runs
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz:
 # Every fuzz target for FUZZ_SMOKE_TIME each; part of `make check`.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzEnginesAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzBitParallelIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/exec
 	$(GO) test -run=NONE -fuzz='^FuzzCachedIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/cache
 	$(GO) test -run=NONE -fuzz='^FuzzKernelsAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
@@ -42,8 +43,15 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lev
 	$(GO) test -run=NONE -fuzz='^FuzzReadNeverPanics$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/trie
 
+# Micro-benchmarks (go test -bench) plus the bit-parallel ablation with a
+# machine-readable BENCH_4.json for cross-PR perf tracking.
 bench:
 	$(GO) test -bench . -benchmem -run=NONE .
+	$(GO) run ./cmd/paperbench -workload city -bitparallel -json BENCH_4.json
+
+# One iteration of every benchmark; part of CI so bench code cannot rot.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -333,6 +333,31 @@ func BenchmarkAblationSorting(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationBitParallel races the production BitParallel rung against
+// the paper's best serial kernel (SimpleTypes) and its banded variant, on
+// both alphabets, serial and with intra-query chunking (Table XV in
+// paperbench).
+func BenchmarkAblationBitParallel(b *testing.B) {
+	city, dna := workloads()
+	for _, wl := range []bench.Workload{city, dna} {
+		configs := []struct {
+			name string
+			opts []scan.Option
+		}{
+			{"simple-types", []scan.Option{scan.WithStrategy(scan.SimpleTypes)}},
+			{"simple-types-banded", []scan.Option{scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel()}},
+			{"bit-parallel", []scan.Option{scan.WithStrategy(scan.BitParallel)}},
+			{"bit-parallel-4w", []scan.Option{scan.WithStrategy(scan.BitParallel), scan.WithWorkers(4)}},
+		}
+		for _, c := range configs {
+			eng := core.NewSequential(wl.Data, c.opts...)
+			b.Run(wl.Name+"/"+c.name, func(b *testing.B) {
+				benchBatch(b, eng, wl.Queries, nil)
+			})
+		}
+	}
+}
+
 // BenchmarkBaselines races every engine family on both workloads.
 func BenchmarkBaselines(b *testing.B) {
 	city, dna := workloads()

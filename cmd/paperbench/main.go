@@ -10,6 +10,8 @@
 //	paperbench -figure 6       # only Figure 6
 //	paperbench -workload city  # only city-name experiments
 //	paperbench -cache          # + Zipf-skewed replay through the result cache
+//	paperbench -bitparallel    # + the bit-parallel scan ablation (Table XV)
+//	paperbench -json OUT.json  # + machine-readable records (implies -bitparallel)
 //
 // Per §5.2, only the result-calculation time is reported; dataset generation
 // and index construction are excluded from every cell. Cells whose direct
@@ -40,6 +42,8 @@ func main() {
 		extra    = flag.Bool("extra", false, "also run the extension experiments (join race, engine matrix)")
 		shards   = flag.Bool("shards", false, "also run the sharded-executor sweep (Table XIV), the serving-path analogue of the paper's worker sweep")
 		workers  = flag.Int("workers", 0, "pool workers for the shard sweep (default GOMAXPROCS)")
+		bitp     = flag.Bool("bitparallel", false, "also run the bit-parallel scan ablation (Table XV: paper kernel vs banded vs query-compiled bit-parallel, serial and intra-query parallel)")
+		jsonPath = flag.String("json", "", "write machine-readable measurements (engine, dataset, k, ns/query, comparisons) to this file; implies -bitparallel")
 		cacheRun = flag.Bool("cache", false, "also replay a Zipf-skewed query stream through the result cache (hit rate vs speedup)")
 		cacheN   = flag.Int("cachequeries", 2000, "stream length for the -cache replay")
 		cacheSz  = flag.Int("cachesize", 512, "cache capacity for the -cache replay")
@@ -125,6 +129,10 @@ func main() {
 		{"figure7", only(0, 7) && needDNA, func() *bench.Table { return bench.Figure7(dna) }, []*bench.Workload{&dna}},
 	}
 
+	if *jsonPath != "" {
+		*bitp = true
+	}
+
 	ran := 0
 	for _, e := range experiments {
 		if !e.want {
@@ -139,9 +147,37 @@ func main() {
 		}
 		ran++
 	}
-	if ran == 0 && !*extra && !*shards && !*cacheRun {
+	if ran == 0 && !*extra && !*shards && !*cacheRun && !*bitp {
 		fmt.Fprintln(os.Stderr, "paperbench: no experiment selected (check -table/-figure/-workload)")
 		os.Exit(1)
+	}
+
+	if *bitp {
+		report := bench.NewReport(cfg.Scale)
+		for _, w := range []struct {
+			need bool
+			wl   bench.Workload
+		}{{needCity, city}, {needDNA, dna}} {
+			if !w.need {
+				continue
+			}
+			start := time.Now()
+			tab := bench.TableXV(w.wl, *workers)
+			tab.Render(os.Stdout)
+			fmt.Printf("[tableXV %s completed in %v; best row: %s]\n\n",
+				w.wl.Name, time.Since(start).Round(time.Millisecond), tab.Best())
+			if *jsonPath != "" {
+				report.Strings = len(w.wl.Data)
+				report.Add(bench.BitParallelRecords(w.wl, *workers)...)
+			}
+		}
+		if *jsonPath != "" {
+			if err := report.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d)\n\n", len(report.Records), *jsonPath, report.GOMAXPROCS)
+		}
 	}
 
 	if *extra {

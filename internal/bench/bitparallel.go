@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/metrics"
+	"simsearch/internal/scan"
+)
+
+// bitParallelRung is one row of the bit-parallel ablation: a short stable
+// slug for JSON records, a table label, and the scan options that build it.
+type bitParallelRung struct {
+	slug    string
+	label   string
+	workers int
+	opts    []scan.Option
+}
+
+// bitParallelRungs builds the ablation ladder: the paper's best serial rung,
+// the banded variant this library defaults to, the query-compiled
+// bit-parallel scan, and the same scan with intra-query chunking across
+// workers goroutines (forced to at least 2 so the chunk-merge path is always
+// exercised and its cost on few-core machines is recorded honestly).
+func bitParallelRungs(workers int) []bitParallelRung {
+	if workers < 2 {
+		workers = 2
+	}
+	return []bitParallelRung{
+		{"simple-types", "1) simple-types (paper §3.4 kernel)", 0,
+			[]scan.Option{scan.WithStrategy(scan.SimpleTypes)}},
+		{"simple-types+banded", "2) simple-types + banded kernel", 0,
+			[]scan.Option{scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel()}},
+		{"bit-parallel", "3) bit-parallel (query-compiled, serial)", 0,
+			[]scan.Option{scan.WithStrategy(scan.BitParallel)}},
+		{fmt.Sprintf("bit-parallel-%dw", workers),
+			fmt.Sprintf("4) bit-parallel (%d workers, intra-query)", workers), workers,
+			[]scan.Option{scan.WithStrategy(scan.BitParallel), scan.WithWorkers(workers)}},
+	}
+}
+
+// TableXV is the bit-parallel ablation: how far past the paper's §3.4 ladder
+// the query-compiled scan pushes the sequential solution. Layout matches the
+// other appendix tables (batch-size columns, one engine per row).
+func TableXV(w Workload, workers int) *Table {
+	t := NewTable(fmt.Sprintf("Table XV. Bit-parallel scan ablation on the %s data set", w.Name), w.Counts)
+	for _, r := range bitParallelRungs(workers) {
+		eng := core.NewSequential(w.Data, r.opts...)
+		t.AddRow(r.label, series(w, func(qs []core.Query) time.Duration {
+			return MeasureBatch(eng, qs, nil)
+		}))
+	}
+	return t
+}
+
+// BitParallelRecords measures every ablation rung per threshold k and returns
+// machine-readable records (ns/query and kernel comparisons) for the JSON
+// report. Speedup is relative to the first rung (the paper's §3.4 kernel) at
+// the same k.
+func BitParallelRecords(w Workload, workers int) []Record {
+	var recs []Record
+	baseline := map[int]int64{} // k -> ns/query of the first rung
+	for ri, r := range bitParallelRungs(workers) {
+		var comps metrics.Counter
+		opts := append(append([]scan.Option{}, r.opts...), scan.WithComparisonCounter(&comps))
+		eng := core.NewSequential(w.Data, opts...)
+		for _, k := range w.Ks {
+			var sub []core.Query
+			for _, q := range w.Queries {
+				if q.K == k {
+					sub = append(sub, q)
+				}
+			}
+			if len(sub) == 0 {
+				continue
+			}
+			before := comps.Value()
+			start := time.Now()
+			for _, q := range sub {
+				eng.Search(q)
+			}
+			elapsed := time.Since(start)
+			rec := Record{
+				Experiment:  "bitparallel-ablation",
+				Engine:      r.slug,
+				Dataset:     w.Name,
+				K:           k,
+				Queries:     len(sub),
+				NsPerQuery:  elapsed.Nanoseconds() / int64(len(sub)),
+				Comparisons: comps.Value() - before,
+				Workers:     r.workers,
+			}
+			if ri == 0 {
+				baseline[k] = rec.NsPerQuery
+			} else if base := baseline[k]; base > 0 && rec.NsPerQuery > 0 {
+				rec.Speedup = float64(base) / float64(rec.NsPerQuery)
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}

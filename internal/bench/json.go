@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Record is one machine-readable measurement in a BENCH_*.json report: one
+// (experiment, engine, dataset, k) cell with its per-query cost and the
+// number of kernel comparisons the engine performed. Records exist so the
+// perf trajectory is diffable across PRs instead of buried in table text.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	Engine      string  `json:"engine"`
+	Dataset     string  `json:"dataset"`
+	K           int     `json:"k"`
+	Queries     int     `json:"queries"`
+	NsPerQuery  int64   `json:"ns_per_query"`
+	Comparisons uint64  `json:"comparisons"`
+	Workers     int     `json:"workers,omitempty"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json payload. GOMAXPROCS is recorded
+// because the intra-query parallel numbers are meaningless without the core
+// count they ran on.
+type Report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Scale      float64  `json:"scale"`
+	Strings    int      `json:"strings,omitempty"`
+	Records    []Record `json:"records"`
+}
+
+// NewReport starts a report stamped with the runtime's parallelism.
+func NewReport(scale float64) *Report {
+	return &Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale}
+}
+
+// Add appends records.
+func (r *Report) Add(recs ...Record) { r.Records = append(r.Records, recs...) }
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

@@ -144,6 +144,10 @@ func (s *Sequential) Name() string { return s.name }
 // Len implements Searcher.
 func (s *Sequential) Len() int { return s.eng.Len() }
 
+// ScanEngine exposes the underlying scan engine for observability surfaces
+// (ladder rung, pool size, BitParallel arena layout).
+func (s *Sequential) ScanEngine() *scan.Engine { return s.eng }
+
 func convertScan(ms []scan.Match) []Match {
 	out := make([]Match, len(ms))
 	for i, m := range ms {

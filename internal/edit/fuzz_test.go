@@ -33,6 +33,28 @@ func FuzzKernelsAgree(f *testing.F) {
 		if pok != ok || (ok && pd != d) {
 			t.Fatalf("paper kernel (%d,%v) != banded (%d,%v)", pd, pok, d, ok)
 		}
+		// The query-compiled bounded kernel must agree in both operand
+		// orders (it is not symmetric in pattern/text like the others).
+		var scratch MyersScratch
+		for _, pair := range [2][2]string{{a, b}, {b, a}} {
+			p := CompileMyers(pair[0])
+			cd, cok := p.BoundedDistance(pair[1], k, &scratch)
+			if cok != (want <= k) {
+				t.Fatalf("compiled ok=%v but distance %d, k %d (%q vs %q)", cok, want, k, pair[0], pair[1])
+			}
+			if cok && cd != want {
+				t.Fatalf("compiled %d != %d (%q vs %q)", cd, want, pair[0], pair[1])
+			}
+			if bd, bok := p.BoundedDistanceBytes([]byte(pair[1]), k, &scratch); bok != cok || bd != cd {
+				t.Fatalf("bytes kernel (%d,%v) != string kernel (%d,%v)", bd, bok, cd, cok)
+			}
+			if got := p.Distance(pair[1], &scratch); got != want {
+				t.Fatalf("compiled Distance %d != %d", got, want)
+			}
+		}
+		if got := MyersWithinK(a, b, k); got != (want <= k) {
+			t.Fatalf("MyersWithinK=%v, distance %d, k %d", got, want, k)
+		}
 	})
 }
 

@@ -26,20 +26,16 @@ func MyersDistance(a, b string) int {
 	}
 }
 
-// MyersWithinK reports whether ed(a, b) <= k using the bit-parallel kernel
-// with the length pre-filter.
+// MyersWithinK reports whether ed(a, b) <= k using the bounded bit-parallel
+// kernel: the length pre-filter rejects first, and the scan abandons the pair
+// as soon as the score cannot come back within k (it previously computed the
+// full distance, so the ablation benchmarks overstated the kernel's cost).
 func MyersWithinK(a, b string, k int) bool {
-	if k < 0 {
-		return false
+	if len(a) > len(b) {
+		a, b = b, a
 	}
-	d := len(a) - len(b)
-	if d < 0 {
-		d = -d
-	}
-	if d > k {
-		return false
-	}
-	return MyersDistance(a, b) <= k
+	_, ok := CompileMyers(a).BoundedDistance(b, k, nil)
+	return ok
 }
 
 // peqTable builds the match bit-vectors for a pattern of length <= 64:

@@ -1,0 +1,219 @@
+package edit
+
+// Query-compiled Myers kernel: the peq match table is built once per query
+// and then streamed over every candidate, instead of being rebuilt for every
+// pair as MyersDistance does. This is the amortization that makes the
+// bit-parallel kernel viable on the serving path — on the city-name workload
+// the table build costs as much as scanning a whole candidate.
+//
+// The bounded variants add the scan's early abandon: after column j the score
+// can still decrease by at most one per remaining text symbol, so a candidate
+// is dropped as soon as score - (n-1-j) > k.
+//
+// The kernels are generic over ~string | ~[]byte so the arena scan
+// (internal/scan) can stream packed byte ranges through them with no
+// per-candidate string conversion.
+
+// MyersPattern is a query compiled for repeated bit-parallel distance
+// computations against many candidate strings. The compiled tables are
+// read-only after CompileMyers, so one pattern may be shared by any number of
+// goroutines; only the blocked (>64 symbol) kernel needs a per-goroutine
+// MyersScratch.
+type MyersPattern struct {
+	text string
+	m    int
+	// Single-word form (m <= 64).
+	peq  [256]uint64
+	last uint64
+	// Blocked form (m > 64): one table and one last-block mask per word.
+	w     int
+	bpeq  [][256]uint64
+	blast uint64
+}
+
+// MyersScratch holds the per-goroutine vertical-delta words the blocked
+// kernel needs. The zero value is ready to use; patterns of <= 64 symbols
+// never touch it.
+type MyersScratch struct {
+	pv, mv []uint64
+}
+
+// CompileMyers builds the match tables for pattern once. The returned
+// pattern is immutable and safe for concurrent use.
+func CompileMyers(pattern string) *MyersPattern {
+	p := &MyersPattern{text: pattern, m: len(pattern)}
+	switch {
+	case p.m == 0:
+		// No table: distance to any candidate is the candidate's length.
+	case p.m <= 64:
+		peqTable(pattern, &p.peq)
+		p.last = uint64(1) << uint(p.m-1)
+	default:
+		p.w = (p.m + 63) / 64
+		p.bpeq = make([][256]uint64, p.w)
+		for i := 0; i < p.m; i++ {
+			p.bpeq[i/64][pattern[i]] |= 1 << uint(i%64)
+		}
+		lastBits := uint(p.m - (p.w-1)*64)
+		p.blast = uint64(1) << (lastBits - 1)
+	}
+	return p
+}
+
+// Len returns the pattern length in bytes.
+func (p *MyersPattern) Len() int { return p.m }
+
+// Text returns the compiled pattern string.
+func (p *MyersPattern) Text() string { return p.text }
+
+// Distance computes the exact edit distance between the pattern and b.
+// A nil scratch is valid (the blocked kernel then allocates).
+func (p *MyersPattern) Distance(b string, s *MyersScratch) int {
+	// With k = m+n the bound can never fire and ok is always true.
+	d, _ := boundedMyers(p, b, p.m+len(b), s)
+	return d
+}
+
+// BoundedDistance reports the edit distance between the pattern and b when it
+// is <= k, abandoning the candidate as early as possible: the length filter
+// rejects before any column, and the scan stops at column j once even a
+// decrease of one per remaining symbol cannot bring the score back within k.
+// Safe for concurrent use when the pattern fits one word (<= 64 symbols);
+// longer patterns need a per-goroutine scratch (nil allocates).
+func (p *MyersPattern) BoundedDistance(b string, k int, s *MyersScratch) (int, bool) {
+	return boundedMyers(p, b, k, s)
+}
+
+// BoundedDistanceBytes is BoundedDistance over a byte slice, for callers that
+// hold candidates in a packed buffer.
+func (p *MyersPattern) BoundedDistanceBytes(b []byte, k int, s *MyersScratch) (int, bool) {
+	return boundedMyers(p, b, k, s)
+}
+
+// boundedMyers dispatches to the right kernel after the length filter and the
+// degenerate cases.
+func boundedMyers[T ~string | ~[]byte](p *MyersPattern, b T, k int, s *MyersScratch) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	d := p.m - len(b)
+	if d < 0 {
+		d = -d
+	}
+	if d > k {
+		return 0, false
+	}
+	switch {
+	case p.m == 0:
+		return len(b), true // len(b) = d <= k
+	case len(b) == 0:
+		return p.m, true
+	case p.m <= 64:
+		return bounded64(p, b, k)
+	default:
+		return boundedBlock(p, b, k, s)
+	}
+}
+
+// bounded64 is the single-word kernel with the early abandon. Preconditions:
+// 1 <= m <= 64, len(b) >= 1.
+func bounded64[T ~string | ~[]byte](p *MyersPattern, b T, k int) (int, bool) {
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := p.m
+	last := p.last
+	n := len(b)
+	for i := 0; i < n; i++ {
+		eq := p.peq[b[i]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		}
+		if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		// Each remaining column can lower the score by at most one.
+		if score-(n-1-i) > k {
+			return 0, false
+		}
+	}
+	if score > k {
+		return 0, false
+	}
+	return score, true
+}
+
+// boundedBlock is the blocked kernel with the early abandon, for patterns
+// longer than 64 symbols. Preconditions: m > 64, len(b) >= 1.
+func boundedBlock[T ~string | ~[]byte](p *MyersPattern, b T, k int, s *MyersScratch) (int, bool) {
+	if s == nil {
+		s = &MyersScratch{}
+	}
+	w := p.w
+	if cap(s.pv) < w {
+		s.pv = make([]uint64, w)
+		s.mv = make([]uint64, w)
+	}
+	pv := s.pv[:w]
+	mv := s.mv[:w]
+	for i := range pv {
+		pv[i] = ^uint64(0)
+		mv[i] = 0
+	}
+	score := p.m
+	n := len(b)
+	for i := 0; i < n; i++ {
+		c := b[i]
+		hin := 1
+		for bl := 0; bl < w; bl++ {
+			eq := p.bpeq[bl][c]
+			pvb, mvb := pv[bl], mv[bl]
+			xv := eq | mvb
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvb) + pvb) ^ pvb) | eq
+			ph := mvb | ^(xh | pvb)
+			mh := pvb & xh
+			hiBit := uint64(1) << 63
+			if bl == w-1 {
+				hiBit = p.blast
+				if ph&hiBit != 0 {
+					score++
+				} else if mh&hiBit != 0 {
+					score--
+				}
+			}
+			hout := 0
+			if ph&hiBit != 0 {
+				hout = 1
+			} else if mh&hiBit != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin > 0 {
+				ph |= 1
+			} else if hin < 0 {
+				mh |= 1
+			}
+			pv[bl] = mh | ^(xv | ph)
+			mv[bl] = ph & xv
+			hin = hout
+		}
+		if score-(n-1-i) > k {
+			return 0, false
+		}
+	}
+	if score > k {
+		return 0, false
+	}
+	return score, true
+}

@@ -48,6 +48,16 @@ func ScanFactory(opts ...scan.Option) Factory {
 	}
 }
 
+// BitParallelFactory builds bit-parallel scan shards: query-compiled Myers
+// kernel over a length-bucketed byte arena. Shard engines stay serial — the
+// executor's shard fan-out already supplies the parallelism, so intra-query
+// chunking inside a shard would only oversubscribe the pool.
+func BitParallelFactory() Factory {
+	return func(data []string) core.Searcher {
+		return core.NewSequential(data, scan.WithStrategy(scan.BitParallel))
+	}
+}
+
 // TrieFactory builds prefix-tree shards (compress selects the §4.2 variant).
 func TrieFactory(compress bool, opts ...trie.Option) Factory {
 	return func(data []string) core.Searcher {

@@ -581,6 +581,18 @@ type CacheStatsJSON struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// ScanStatsJSON is the sequential-scan section of the /stats payload: the
+// ladder rung, the pool size, and — on the BitParallel rung — the packed
+// arena layout (how many strings and bytes the contiguous buffer holds, and
+// how many length buckets the O(1) length filter selects over).
+type ScanStatsJSON struct {
+	Strategy     string `json:"strategy"`
+	Workers      int    `json:"workers,omitempty"`
+	ArenaStrings int    `json:"arena_strings,omitempty"`
+	ArenaBytes   int    `json:"arena_bytes,omitempty"`
+	ArenaBuckets int    `json:"arena_buckets,omitempty"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Engine  string           `json:"engine"`
@@ -589,6 +601,7 @@ type StatsResponse struct {
 	MinLen  int              `json:"min_len"`
 	AvgLen  float64          `json:"avg_len"`
 	MaxLen  int              `json:"max_len"`
+	Scan    *ScanStatsJSON   `json:"scan,omitempty"`
 	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
 	Shards  []ShardStatsJSON `json:"shards,omitempty"`
 }
@@ -602,6 +615,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
 		MinLen: info.MinLen, AvgLen: info.AvgLen, MaxLen: info.MaxLen,
+	}
+	if seq, ok := engineAs[*core.Sequential](s.eng); ok {
+		eng := seq.ScanEngine()
+		sj := &ScanStatsJSON{Strategy: eng.Strategy().String(), Workers: eng.Workers()}
+		if as, ok := eng.ArenaStats(); ok {
+			sj.ArenaStrings = as.Strings
+			sj.ArenaBytes = as.Bytes
+			sj.ArenaBuckets = as.Buckets
+		}
+		resp.Scan = sj
 	}
 	if c, ok := engineAs[*cache.Cache](s.eng); ok {
 		cs := c.Stats()

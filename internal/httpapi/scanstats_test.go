@@ -1,0 +1,56 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"simsearch/internal/cache"
+	"simsearch/internal/core"
+	"simsearch/internal/scan"
+)
+
+// TestStatsScanSection checks that /stats reports the scan engine's rung and
+// — on the BitParallel rung — the arena layout, including through the cache
+// decorator.
+func TestStatsScanSection(t *testing.T) {
+	eng := core.NewSequential(data, scan.WithStrategy(scan.BitParallel), scan.WithWorkers(4))
+	ts := httptest.NewServer(New(cache.New(eng, cache.Options{Capacity: 8}), data))
+	defer ts.Close()
+
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	if resp.Scan == nil {
+		t.Fatal("no scan section in /stats")
+	}
+	if resp.Scan.Strategy != "bit-parallel" || resp.Scan.Workers != 4 {
+		t.Errorf("scan section = %+v", resp.Scan)
+	}
+	wantBytes := 0
+	for _, s := range data {
+		wantBytes += len(s)
+	}
+	if resp.Scan.ArenaStrings != len(data) || resp.Scan.ArenaBytes != wantBytes || resp.Scan.ArenaBuckets == 0 {
+		t.Errorf("arena stats = %+v", resp.Scan)
+	}
+}
+
+// TestStatsScanSectionNonBitParallel checks that non-arena scan engines still
+// report their rung with no arena fields, and non-scan engines omit the
+// section entirely.
+func TestStatsScanSectionNonBitParallel(t *testing.T) {
+	ts := httptest.NewServer(New(core.NewSequential(data), data))
+	defer ts.Close()
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	if resp.Scan == nil || resp.Scan.Strategy != "simple-types" || resp.Scan.ArenaStrings != 0 {
+		t.Errorf("scan section = %+v", resp.Scan)
+	}
+
+	tt := httptest.NewServer(New(core.NewTrie(data, true), data))
+	defer tt.Close()
+	var tresp StatsResponse
+	getJSON(t, tt.URL+"/stats", &tresp)
+	if tresp.Scan != nil {
+		t.Errorf("trie engine reports scan section %+v", tresp.Scan)
+	}
+}

@@ -1,0 +1,184 @@
+// Arena data layout and run merge for the BitParallel rung.
+//
+// All dataset strings are packed into one contiguous byte buffer, bucketed by
+// length with original IDs preserved inside each bucket. The paper's length
+// filter then degenerates to selecting a bucket range, and the scan itself is
+// a single linear sweep over the packed bytes — no pointer chasing through
+// string headers, no cache miss per candidate.
+package scan
+
+import (
+	"fmt"
+	"math"
+)
+
+// arena is the packed, length-bucketed dataset layout.
+//
+// Slot s holds the bytes buf[offs[s]:offs[s+1]] of the dataset string whose
+// original index is ids[s]. Slots are ordered by (length, ID): a counting
+// sort by length over the ID-ordered input places equal-length strings in
+// ascending ID order, so every length bucket emits ID-sorted matches by
+// construction.
+type arena struct {
+	buf  []byte
+	offs []int32 // len(ids)+1 boundaries into buf
+	ids  []int32 // slot -> original dataset ID
+	// lenStart[l] is the first slot whose string is at least l bytes long;
+	// lenStart[maxLen+1] == len(ids). The bucket of length l spans
+	// [lenStart[l], lenStart[l+1]).
+	lenStart []int32
+	maxLen   int
+}
+
+// buildArena packs data. Offsets are int32 (half the footprint of int64 on
+// the hot path); datasets beyond 2 GiB of string bytes are out of scope for
+// the in-memory engine and rejected loudly rather than corrupted silently.
+func buildArena(data []string) *arena {
+	total := 0
+	maxLen := 0
+	for _, s := range data {
+		total += len(s)
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("scan: arena layout supports at most %d string bytes, got %d", math.MaxInt32, total))
+	}
+	a := &arena{
+		buf:      make([]byte, 0, total),
+		offs:     make([]int32, 1, len(data)+1),
+		ids:      make([]int32, 0, len(data)),
+		lenStart: make([]int32, maxLen+2),
+		maxLen:   maxLen,
+	}
+	// Counting sort by length: histogram, prefix sums, then a stable
+	// ID-order placement pass.
+	counts := make([]int32, maxLen+1)
+	for _, s := range data {
+		counts[len(s)]++
+	}
+	var slot int32
+	for l := 0; l <= maxLen; l++ {
+		a.lenStart[l] = slot
+		slot += counts[l]
+	}
+	a.lenStart[maxLen+1] = slot
+	next := make([]int32, maxLen+1)
+	copy(next, a.lenStart[:maxLen+1])
+	a.ids = a.ids[:len(data)]
+	byteStart := make([]int32, maxLen+1)
+	var off int32
+	for l := 0; l <= maxLen; l++ {
+		byteStart[l] = off
+		off += counts[l] * int32(l)
+	}
+	a.buf = a.buf[:total]
+	a.offs = a.offs[:len(data)+1]
+	for i, s := range data {
+		sl := next[len(s)]
+		next[len(s)]++
+		a.ids[sl] = int32(i)
+		bo := byteStart[len(s)]
+		byteStart[len(s)] += int32(len(s))
+		copy(a.buf[bo:], s)
+		a.offs[sl] = bo
+	}
+	a.offs[len(data)] = int32(total)
+	// offs currently holds each slot's start; slot s ends where the next
+	// slot of the same bucket starts. Because buckets are laid out in order
+	// and slots within a bucket are placed consecutively, offs is already
+	// ascending and offs[s]+len == offs[s+1] holds for every slot.
+	return a
+}
+
+// slotRange returns the arena slots holding strings with length in [lo, hi]
+// (clamped to the dataset's length range).
+func (a *arena) slotRange(lo, hi int) (int32, int32) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.maxLen {
+		hi = a.maxLen
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return a.lenStart[lo], a.lenStart[hi+1]
+}
+
+// bytes returns the packed buffer size (for /stats).
+func (a *arena) bytes() int { return len(a.buf) }
+
+// buckets returns the number of distinct, non-empty length buckets.
+func (a *arena) buckets() int {
+	n := 0
+	for l := 0; l <= a.maxLen; l++ {
+		if a.lenStart[l+1] > a.lenStart[l] {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeRuns sorts a match slice that is a concatenation of ID-ascending runs
+// (one per length bucket, possibly split by chunk boundaries) by merging the
+// runs bottom-up, O(n log r) for r runs. The input slice is consumed; the
+// returned slice is ID-sorted and may alias either the input or the merge
+// buffer.
+func mergeRuns(ms []Match) []Match {
+	if len(ms) < 2 {
+		return ms
+	}
+	// Run boundaries are exactly the ID descents: IDs are unique and each
+	// run is strictly ascending.
+	starts := []int{0}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].ID <= ms[i-1].ID {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) == 1 {
+		return ms
+	}
+	buf := make([]Match, len(ms))
+	src, dst := ms, buf
+	for len(starts) > 1 {
+		ns := make([]int, 0, (len(starts)+1)/2)
+		for i := 0; i < len(starts); i += 2 {
+			lo := starts[i]
+			if i+1 == len(starts) {
+				copy(dst[lo:], src[lo:])
+				ns = append(ns, lo)
+				continue
+			}
+			mid := starts[i+1]
+			hi := len(src)
+			if i+2 < len(starts) {
+				hi = starts[i+2]
+			}
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+			ns = append(ns, lo)
+		}
+		starts = ns
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeInto merges two ID-ascending runs into out (len(out) == len(a)+len(b)).
+func mergeInto(out, a, b []Match) {
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ID < b[j].ID {
+			out[o] = a[i]
+			i++
+		} else {
+			out[o] = b[j]
+			j++
+		}
+		o++
+	}
+	copy(out[o:], a[i:])
+	copy(out[o+len(a)-i:], b[j:])
+}

@@ -1,0 +1,123 @@
+// The BitParallel rung: query compiled once, arena streamed through it,
+// optionally chunked across workers for intra-query parallelism.
+package scan
+
+import (
+	"context"
+
+	"simsearch/internal/edit"
+	"simsearch/internal/pool"
+)
+
+// bitParallelMinSlots is the smallest candidate window worth chunking across
+// the pool; below it the goroutine handoff costs more than the scan. Package
+// variable so tests can force the parallel path on small datasets.
+var bitParallelMinSlots = 4096
+
+// bitParallelChunksPerWorker oversubscribes the chunk count so a worker that
+// draws short strings does not leave the others idle at the barrier.
+const bitParallelChunksPerWorker = 4
+
+// searchBitParallel answers one query on the BitParallel rung. The pattern is
+// compiled once, the arena's length-filtered slot range is selected in O(1),
+// and with Workers > 1 the range is chunked across a fixed pool. Results are
+// ID-ordered by construction: slots are ordered (length, ID), so every scan
+// emits a concatenation of ID-ascending runs that mergeRuns folds together.
+func (e *Engine) searchBitParallel(ctx context.Context, q Query) ([]Match, error) {
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	p := edit.CompileMyers(q.Text)
+	lo, hi := e.arena.slotRange(len(q.Text)-q.K, len(q.Text)+q.K)
+	n := int(hi - lo)
+	if n == 0 {
+		return nil, nil
+	}
+	if e.workers <= 1 || n < bitParallelMinSlots {
+		ms, ok := e.scanSlots(p, q.K, lo, hi, cancel)
+		if !ok {
+			return nil, ctx.Err()
+		}
+		return mergeRuns(ms), nil
+	}
+	nc := e.workers * bitParallelChunksPerWorker
+	if nc > n {
+		nc = n
+	}
+	per := make([][]Match, nc)
+	err := pool.RunContext(ctx, pool.Fixed{Workers: e.workers}, nc, func(ci int) {
+		clo := lo + int32(ci*n/nc)
+		chi := lo + int32((ci+1)*n/nc)
+		// A cancelled chunk leaves per[ci] partial; RunContext then returns
+		// an error and the buffers are never read.
+		per[ci], _ = e.scanSlots(p, q.K, clo, chi, cancel)
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, ms := range per {
+		total += len(ms)
+	}
+	out := make([]Match, 0, total)
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	// Chunks cover the slot range in order, so the concatenation is still a
+	// concatenation of ID-ascending runs (a bucket split by a chunk boundary
+	// does not even introduce a descent).
+	return mergeRuns(out), nil
+}
+
+// scanSlots streams arena slots [lo, hi) through the compiled pattern,
+// polling cancel every ctxStride comparisons. It reports ok=false when
+// cancelled mid-scan. Each call owns its scratch, so concurrent chunk scans
+// never share kernel state; the comparison count is flushed once per call.
+func (e *Engine) scanSlots(p *edit.MyersPattern, k int, lo, hi int32, cancel <-chan struct{}) ([]Match, bool) {
+	a := e.arena
+	var ms []Match
+	var pairs uint64
+	if e.comps != nil {
+		defer func() { e.comps.Add(pairs) }()
+	}
+	var scratch edit.MyersScratch
+	for s := lo; s < hi; s++ {
+		if cancel != nil && pairs%ctxStride == ctxStride-1 {
+			select {
+			case <-cancel:
+				return ms, false
+			default:
+			}
+		}
+		pairs++
+		if d, ok := p.BoundedDistanceBytes(a.buf[a.offs[s]:a.offs[s+1]], k, &scratch); ok {
+			ms = append(ms, Match{ID: a.ids[s], Dist: d})
+		}
+	}
+	return ms, true
+}
+
+// ArenaStats describes the BitParallel packed layout for observability
+// surfaces (/stats).
+type ArenaStats struct {
+	Strings int // packed strings
+	Bytes   int // packed buffer size
+	Buckets int // non-empty length buckets
+}
+
+// ArenaStats returns the packed-layout statistics, or ok=false when the
+// engine is not on the BitParallel rung.
+func (e *Engine) ArenaStats() (ArenaStats, bool) {
+	if e.arena == nil {
+		return ArenaStats{}, false
+	}
+	return ArenaStats{
+		Strings: len(e.arena.ids),
+		Bytes:   e.arena.bytes(),
+		Buckets: e.arena.buckets(),
+	}, true
+}
+
+// Workers returns the configured pool size (0 means unset).
+func (e *Engine) Workers() int { return e.workers }

@@ -20,7 +20,6 @@ package scan
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"simsearch/internal/edit"
 	"simsearch/internal/pool"
@@ -44,6 +43,15 @@ const (
 	ParallelNaive
 	// ParallelManaged adds §3.6: a fixed pool of Workers goroutines.
 	ParallelManaged
+	// BitParallel is the production rung beyond the paper's ladder: the
+	// query is compiled once into a Myers bit-vector pattern (peq table
+	// built per query, not per pair), the dataset is packed into a
+	// length-bucketed byte arena so the length filter becomes a bucket-range
+	// selection over a contiguous buffer, and with Workers > 1 a single
+	// query's slot range is chunked across a pool so one query's latency
+	// drops on multi-core (the paper's parallel rungs only parallelize
+	// across queries). Results are byte-identical to every other rung.
+	BitParallel
 )
 
 // String returns the ladder label used in the experiment tables.
@@ -61,12 +69,16 @@ func (s Strategy) String() string {
 		return "parallel-naive"
 	case ParallelManaged:
 		return "parallel-managed"
+	case BitParallel:
+		return "bit-parallel"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
 }
 
-// Strategies lists the ladder in paper order.
+// Strategies lists the paper's §3 ladder in paper order. BitParallel is not
+// part of it — it is the production rung beyond the paper, benchmarked in its
+// own ablation table.
 func Strategies() []Strategy {
 	return []Strategy{Base, FastED, References, SimpleTypes, ParallelNaive, ParallelManaged}
 }
@@ -97,8 +109,11 @@ type Engine struct {
 
 	// Length-sorted view for the §6 Sorting ablation.
 	sorted  bool
-	byLen   []int32 // permutation of IDs ordered by string length
+	byLen   []int32 // permutation of IDs ordered by (length, ID)
 	lenPref []int32 // lenPref[l] = first index in byLen with length >= l
+
+	// Packed dataset layout for the BitParallel rung.
+	arena *arena
 }
 
 // CompCounter receives per-query comparison counts. metrics.Counter
@@ -160,33 +175,43 @@ func New(data []string, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.strategy == BitParallel {
+		e.arena = buildArena(e.data)
+	}
 	if e.sorted {
 		e.buildLengthIndex()
 	}
 	return e
 }
 
+// buildLengthIndex orders IDs by (length, ID) with a counting sort: stable by
+// construction, so every equal-length segment of byLen is ID-ascending and a
+// length-window scan emits one sorted run per length — which is what lets
+// searchCtx merge runs instead of sorting every result set.
 func (e *Engine) buildLengthIndex() {
-	e.byLen = make([]int32, len(e.data))
-	for i := range e.byLen {
-		e.byLen[i] = int32(i)
-	}
-	sort.Slice(e.byLen, func(i, j int) bool {
-		return len(e.data[e.byLen[i]]) < len(e.data[e.byLen[j]])
-	})
 	maxLen := 0
 	for _, s := range e.data {
 		if len(s) > maxLen {
 			maxLen = len(s)
 		}
 	}
+	counts := make([]int32, maxLen+1)
+	for _, s := range e.data {
+		counts[len(s)]++
+	}
 	e.lenPref = make([]int32, maxLen+2)
-	idx := 0
-	for l := 0; l <= maxLen+1; l++ {
-		for idx < len(e.byLen) && len(e.data[e.byLen[idx]]) < l {
-			idx++
-		}
-		e.lenPref[l] = int32(idx)
+	var idx int32
+	for l := 0; l <= maxLen; l++ {
+		e.lenPref[l] = idx
+		idx += counts[l]
+	}
+	e.lenPref[maxLen+1] = idx
+	next := make([]int32, maxLen+1)
+	copy(next, e.lenPref[:maxLen+1])
+	e.byLen = make([]int32, len(e.data))
+	for i, s := range e.data {
+		e.byLen[next[len(s)]] = int32(i)
+		next[len(s)]++
 	}
 }
 
@@ -220,6 +245,9 @@ const ctxStride = 1024
 func (e *Engine) searchCtx(ctx context.Context, q Query, scratch *edit.Scratch) ([]Match, error) {
 	if q.K < 0 {
 		return nil, nil
+	}
+	if e.strategy == BitParallel {
+		return e.searchBitParallel(ctx, q)
 	}
 	var cancel <-chan struct{}
 	if ctx != nil {
@@ -273,8 +301,10 @@ func (e *Engine) searchCtx(ctx context.Context, q Query, scratch *edit.Scratch) 
 				}
 			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		return out, nil
+		// byLen is ordered (length, ID), so out is a concatenation of
+		// ID-ascending runs (one per length) — merge them instead of
+		// re-sorting with a fresh closure on every query.
+		return mergeRuns(out), nil
 	}
 	for i, s := range e.data {
 		if check() {

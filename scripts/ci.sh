@@ -26,8 +26,13 @@ go test ./...
 echo "== race =="
 go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics
 
+echo "== bench smoke =="
+# One iteration of every benchmark, so bench code cannot silently rot.
+go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
+
 echo "== fuzz smoke =="
 go test -run=NONE -fuzz='^FuzzEnginesAgree$' -fuzztime=5s .
+go test -run=NONE -fuzz='^FuzzBitParallelIdentical$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzDifferential$' -fuzztime=5s ./internal/exec
 go test -run=NONE -fuzz='^FuzzCachedIdentical$' -fuzztime=5s ./internal/cache
 go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit

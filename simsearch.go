@@ -68,6 +68,13 @@ const (
 	Automaton
 	// VPTree is the vantage-point metric-tree baseline.
 	VPTree
+	// BitParallel is the production scan rung beyond the paper's ladder:
+	// each query is compiled once into a Myers bit-vector pattern, the
+	// dataset is packed into a length-bucketed byte arena, and Workers > 1
+	// chunks a single query's candidate range across a fixed pool
+	// (intra-query parallelism — the paper's parallel rungs only
+	// parallelize across queries). Results are identical to Scan.
+	BitParallel
 )
 
 // Options configures New. The zero value selects the best serial sequential
@@ -75,8 +82,11 @@ const (
 type Options struct {
 	// Algorithm selects the engine family (default Scan).
 	Algorithm Algorithm
-	// Workers > 1 enables parallel query execution in the Scan engine
-	// (the paper's managed parallelism with a fixed pool).
+	// Workers > 1 enables parallel execution in the scan engines. For
+	// Scan it selects the paper's managed across-queries parallelism
+	// (a fixed pool answering whole queries); for BitParallel it chunks
+	// each single query's candidate range across the pool, cutting that
+	// query's latency instead of batch throughput.
 	Workers int
 	// Uncompressed keeps the Trie engine's tree uncompressed (the paper's
 	// §4.1 base index). Ignored by other algorithms.
@@ -143,6 +153,12 @@ func newEngine(data []string, opts Options) Searcher {
 		return core.NewAutomatonScan(data)
 	case VPTree:
 		return core.NewVPTree(data)
+	case BitParallel:
+		sopts := []scan.Option{scan.WithStrategy(scan.BitParallel)}
+		if opts.Workers > 1 {
+			sopts = append(sopts, scan.WithWorkers(opts.Workers))
+		}
+		return core.NewSequential(data, sopts...)
 	default:
 		sopts := []scan.Option{scan.WithStrategy(scan.SimpleTypes)}
 		if opts.Workers > 1 {
@@ -178,6 +194,14 @@ func NewParallelScan(data []string, workers int) Searcher {
 // prefix tree with modern banded pruning.
 func NewIndex(data []string) Searcher {
 	return New(data, Options{Algorithm: Trie})
+}
+
+// NewBitParallel returns the production bit-parallel scan: query-compiled
+// Myers kernel over a length-bucketed byte arena. workers > 1 additionally
+// chunks each query's candidate range across a fixed pool (intra-query
+// parallelism); workers <= 1 scans serially.
+func NewBitParallel(data []string, workers int) Searcher {
+	return New(data, Options{Algorithm: BitParallel, Workers: workers})
 }
 
 // SearchBatch answers all queries with eng. Engines with their own batch
