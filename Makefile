@@ -2,24 +2,30 @@ GO ?= go
 
 # Packages with nontrivial concurrency: the worker pools, the sharded
 # executor, the result cache and its coalescer, the HTTP server, the parallel
-# scan engine, and the lock-free metrics primitives.
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics
+# scan engine, the lock-free metrics primitives, the bench harness's
+# concurrent drivers, and the trie (shared frontier rows under NearestK).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie
 
 FUZZ_SMOKE_TIME ?= 5s
 
-.PHONY: check build fmt vet test race fuzz fuzz-smoke bench bench-smoke clean
+.PHONY: check build fmt vet lint test race fuzz fuzz-smoke bench bench-smoke clean
 
-check: fmt vet test race bench-smoke fuzz-smoke ## everything CI runs
+check: fmt vet lint test race bench-smoke fuzz-smoke ## everything CI runs
 
 build:
 	$(GO) build ./...
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariant analyzers (internal/analysis). `-json` is
+# available for machine consumption: go run ./cmd/simlint -json ./...
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 test: build
 	$(GO) test ./...

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixture is a package with known findings (two unsuppressed test sleeps);
+// analyzer fixtures double as exit-code fixtures for the command.
+const fixture = "../../internal/analysis/testdata/src/nosleeptest"
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../internal/core"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+func TestRunFindingsExitNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{fixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "time.Sleep in test") {
+		t.Errorf("findings output missing expected message:\n%s", out.String())
+	}
+}
+
+func TestRunJSONFindings(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", fixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("findings = %d, want 2\n%s", len(diags), out.String())
+	}
+	for _, d := range diags {
+		if d.Analyzer != "nosleeptest" || d.Line == 0 || !strings.HasSuffix(d.File, "_test.go") {
+			t.Errorf("unexpected finding: %+v", d)
+		}
+	}
+}
+
+func TestRunJSONClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "../../internal/core"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"atomicfield", "copyonread", "ctxpoll", "hotalloc", "nosleeptest"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

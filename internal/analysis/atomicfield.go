@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField flags 64-bit sync/atomic calls on struct fields that a 32-bit
+// platform would lay out off an 8-byte boundary. On 386/arm the runtime only
+// guarantees 64-bit alignment for the first word of an allocation, so
+// atomic.AddInt64(&s.f, 1) panics when f's offset is not a multiple of 8.
+// The metrics and stats hot-path structs are all built from atomic.Int64 /
+// atomic.Uint64 wrapper types, which the compiler self-aligns; this analyzer
+// catches the regression where someone reintroduces a raw int64/uint64
+// counter field and reaches it with sync/atomic.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "64-bit sync/atomic calls on struct fields must target 8-byte-aligned fields (32-bit layout) — place them first or use atomic.Int64/Uint64",
+	Run:  runAtomicField,
+}
+
+// atomic64Funcs are the sync/atomic entry points that require 64-bit
+// alignment of their operand.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicField(pass *Pass) {
+	// 32-bit layout: word size 4, so int64 fields land on 4-byte boundaries
+	// unless deliberately placed.
+	sizes := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := calleeObject(pass.Info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			off, ok := selectorOffset32(pass, sizes, sel)
+			if ok && off%8 != 0 {
+				pass.Reportf(call.Pos(),
+					"atomic.%s on field %s at 32-bit offset %d (not 8-byte aligned): place the field first in its struct or use atomic.%s",
+					fn.Name(), sel.Sel.Name, off, wrapperFor(fn.Name()))
+			}
+			return true
+		})
+	}
+}
+
+// selectorOffset32 computes the 32-bit offset of the selected field from the
+// start of its allocation: the selection's own field path, plus the offsets
+// of any enclosing value-typed selector hops (x.inner.n). A pointer hop
+// resets the base — a dereference lands on a fresh allocation, whose first
+// word the runtime keeps 64-bit aligned even on 32-bit platforms.
+func selectorOffset32(pass *Pass, sizes types.Sizes, sel *ast.SelectorExpr) (int64, bool) {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return 0, false
+	}
+	off, ok := fieldOffset32(sizes, selection)
+	if !ok {
+		return 0, false
+	}
+	// If the receiver expression is itself a field selection reached by
+	// value, its offset contributes to the same allocation.
+	if _, isPtr := selection.Recv().Underlying().(*types.Pointer); !isPtr {
+		if inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr); isSel {
+			if _, isField := pass.Info.Selections[inner]; isField {
+				innerOff, innerOK := selectorOffset32(pass, sizes, inner)
+				if !innerOK {
+					return 0, false
+				}
+				return off + innerOff, true
+			}
+		}
+	}
+	return off, true
+}
+
+// fieldOffset32 walks the selection's field path and sums the 32-bit layout
+// offsets. ok is false when any step is not a struct field (defensive).
+func fieldOffset32(sizes types.Sizes, sel *types.Selection) (int64, bool) {
+	t := sel.Recv()
+	var total int64
+	for _, idx := range sel.Index() {
+		if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			// A pointer dereference starts a fresh allocation, whose first
+			// word is 64-bit aligned even on 32-bit platforms.
+			t = ptr.Elem()
+			total = 0
+		}
+		st, isStruct := t.Underlying().(*types.Struct)
+		if !isStruct || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offs := sizes.Offsetsof(fields)
+		total += offs[idx]
+		t = st.Field(idx).Type()
+	}
+	return total, true
+}
+
+func wrapperFor(fn string) string {
+	if len(fn) >= 6 && fn[len(fn)-6:] == "Uint64" {
+		return "Uint64"
+	}
+	return "Int64"
+}

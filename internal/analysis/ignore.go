@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// ignoreIndex indexes a package's suppression directives.
+type ignoreIndex struct {
+	directives []ignoreDirective
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Malformed directives — a missing reason, or a name that matches no known
+// analyzer — are themselves reported into diags, so suppressions cannot rot
+// silently.
+func collectIgnores(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) *ignoreIndex {
+	idx := &ignoreIndex{}
+	report := func(pos ast.Node, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "simlint",
+			Position: pkg.Fset.Position(pos.Pos()),
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Syntax {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignoreXXX — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c, "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				ok := true
+				for _, n := range names {
+					if ByName(n) == nil {
+						report(c, "//lint:ignore names unknown analyzer "+n)
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				idx.directives = append(idx.directives, ignoreDirective{
+					file: p.Filename, line: p.Line, analyzers: names,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a directive: same file, same
+// analyzer, on the diagnostic's line (trailing comment) or the line above.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	for _, dir := range idx.directives {
+		if dir.file != d.Position.Filename {
+			continue
+		}
+		if dir.line != d.Position.Line && dir.line != d.Position.Line-1 {
+			continue
+		}
+		for _, n := range dir.analyzers {
+			if n == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoSleepTest flags time.Sleep calls in _test.go files. PR 1 de-flaked the
+// concurrency tests by replacing fixed sleeps with channel synchronization;
+// this analyzer keeps them that way. Deadline-bounded poll loops that
+// genuinely need a sleep between probes carry an explained //lint:ignore.
+var NoSleepTest = &Analyzer{
+	Name: "nosleeptest",
+	Doc:  "no time.Sleep in _test.go files — synchronize with channels, or poll against a deadline with an explained //lint:ignore",
+	Run:  runNoSleepTest,
+}
+
+func runNoSleepTest(pass *Pass) {
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pass.Info, call).(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(),
+					"time.Sleep in test: synchronize with channels instead of sleeping (flaky under load)")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestRepoClean dogfoods the suite: running every analyzer over the whole
+// module must produce zero findings. Deliberate exceptions carry explained
+// //lint:ignore directives in source, so any diagnostic here is either a
+// real regression or a rotten suppression.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("repo not clean: %s", d)
+	}
+}

@@ -1,0 +1,85 @@
+// Package stats is an atomicfield fixture: struct layouts whose 64-bit
+// fields land on and off 8-byte boundaries under the 32-bit (gc/386) size
+// rules.
+package stats
+
+import "sync/atomic"
+
+// misaligned has its 64-bit counter after an int32: 32-bit offset 4.
+type misaligned struct {
+	ready int32
+	hits  int64
+}
+
+func (m *misaligned) inc() int64 {
+	return atomic.AddInt64(&m.hits, 1) // want "not 8-byte aligned"
+}
+
+// aligned places the 64-bit counter first, the fix the analyzer suggests.
+type aligned struct {
+	hits  int64
+	ready int32
+}
+
+func (a *aligned) inc() int64 {
+	return atomic.AddInt64(&a.hits, 1)
+}
+
+// padded reaches offset 8 with explicit padding.
+type padded struct {
+	ready int32
+	_     int32
+	hits  int64
+}
+
+func (p *padded) load() int64 {
+	return atomic.LoadInt64(&p.hits)
+}
+
+// wrapped uses the self-aligning wrapper type; there is no raw sync/atomic
+// call to flag.
+type wrapped struct {
+	ready int32
+	hits  atomic.Int64
+}
+
+func (w *wrapped) inc() int64 {
+	return w.hits.Add(1)
+}
+
+// outer embeds a value struct at offset 4, pushing inner.n to 4 even though
+// n is first within inner.
+type outer struct {
+	flag  int32
+	inner struct {
+		n uint64
+	}
+}
+
+func (o *outer) inc() uint64 {
+	return atomic.AddUint64(&o.inner.n, 1) // want "not 8-byte aligned"
+}
+
+// viaPointer hops through a pointer: the dereference lands on a fresh
+// allocation, whose first word the runtime keeps 64-bit aligned.
+type viaPointer struct {
+	flag  int32
+	inner *struct {
+		n uint64
+	}
+}
+
+func (v *viaPointer) inc() uint64 {
+	return atomic.AddUint64(&v.inner.n, 1)
+}
+
+// legacy demonstrates an explained suppression.
+type legacy struct {
+	ready int32
+	hits  int64
+}
+
+func (l *legacy) inc() int64 {
+	//lint:ignore atomicfield fixture: 32-bit builds are out of support for this type
+	return atomic.AddInt64(&l.hits, 1)
+}

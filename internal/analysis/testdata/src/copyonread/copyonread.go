@@ -1,0 +1,114 @@
+// Package cache is a copyonread fixture: an owning struct with a marked
+// result slice, one sanctioned copy helper, every allowed read-only form,
+// and every leak/mutation shape the analyzer must flag.
+package cache
+
+import "sort"
+
+type match struct {
+	id   int32
+	dist int
+}
+
+type entry struct {
+	ms []match // lint:cacheowned — fixture: leaves only via copyMatches
+}
+
+// copyMatches is the one sanctioned way an owned slice reaches a caller.
+//
+//lint:copyhelper
+func copyMatches(ms []match) []match {
+	out := make([]match, len(ms))
+	copy(out, ms)
+	return out
+}
+
+// --- allowed forms ---------------------------------------------------------
+
+func get(e *entry) []match { return copyMatches(e.ms) }
+
+func put(e *entry, ms []match) { e.ms = ms }
+
+func size(e *entry) int { return len(e.ms) + cap(e.ms) }
+
+func has(e *entry) bool { return e.ms != nil }
+
+func best(e *entry) int {
+	n := 0
+	for _, m := range e.ms {
+		if m.dist > n {
+			n = m.dist
+		}
+	}
+	return n
+}
+
+func first(e *entry) match { return e.ms[0] }
+
+func snapshot(e *entry, dst []match) int { return copy(dst, e.ms) }
+
+// --- leaks and mutations ---------------------------------------------------
+
+func leak(e *entry) []match {
+	return e.ms // want "returned without copying"
+}
+
+func alias(e *entry) {
+	ms := e.ms // want "aliased by assignment"
+	_ = ms
+}
+
+func grow(e *entry, m match) {
+	e.ms = append(e.ms, m) // want "mutated by append"
+}
+
+func stomp(e *entry, src []match) {
+	copy(e.ms, src) // want "mutated as copy destination"
+}
+
+func rewrite(e *entry, m match) {
+	e.ms[0] = m // want "mutated by element assignment"
+}
+
+func pin(e *entry) *match {
+	return &e.ms[0] // want "leaks an element pointer"
+}
+
+func window(e *entry) []match {
+	return copyMatches(e.ms[1:]) // want "aliased by sub-slicing"
+}
+
+func reorder(e *entry) {
+	sort.Slice(e.ms, func(i, j int) bool { // want "passed outside the designated copy helpers"
+		return e.ms[i].dist < e.ms[j].dist
+	})
+}
+
+func share(e *entry) {
+	use(e.ms) // want "passed outside the designated copy helpers"
+}
+
+func use([]match) {}
+
+func wrap(e *entry) *[]match {
+	return &e.ms // want "address-taken"
+}
+
+type view struct{ ms []match }
+
+func box(e *entry) view {
+	return view{ms: e.ms} // want "stored into a composite literal"
+}
+
+// The marker on a non-slice field is itself a finding.
+type wrong struct {
+	n int // lint:cacheowned — want "marks non-slice field"
+}
+
+func (w *wrong) get() int { return w.n }
+
+// suppressedLeak demonstrates an explained suppression.
+func suppressedLeak(e *entry) []match {
+	//lint:ignore copyonread fixture: caller owns the entry during shutdown
+	return e.ms
+}

@@ -1,0 +1,151 @@
+// Package scan is a ctxpoll fixture: it is loaded under the import path
+// simsearch/internal/scan so the path-scoped analyzer fires. Each function
+// exercises one compliant or non-compliant shape of the cancellation-polling
+// invariant.
+package scan
+
+import "context"
+
+// kernel is the shape of a per-pair comparison function: the analyzer treats
+// a call through a func-typed variable with string operands as comparison
+// work.
+type kernel func(a, b string, k int) (int, bool)
+
+// searchNoPoll holds a context but never looks at it inside the comparison
+// loop — the canonical violation.
+func searchNoPoll(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	for _, s := range data { // want "never polls cancellation"
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// searchSelectDone polls with a strided select on ctx.Done().
+func searchSelectDone(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	for i, s := range data {
+		if i%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return n
+			default:
+			}
+		}
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// searchCancelChan polls a raw cancel channel instead of a context.
+func searchCancelChan(cancel chan struct{}, data []string, dist kernel) int {
+	n := 0
+	for _, s := range data {
+		select {
+		case <-cancel:
+			return n
+		default:
+		}
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// searchErrPoll polls with ctx.Err().
+func searchErrPoll(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	for _, s := range data {
+		if ctx.Err() != nil {
+			return n
+		}
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// searchDelegate hands the context to a callee every iteration; polling is
+// the callee's job (the executor's shard fan-out shape).
+func searchDelegate(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	for _, s := range data {
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+		emit(ctx, n)
+	}
+	return n
+}
+
+func emit(ctx context.Context, n int) {
+	_ = ctx
+	_ = n
+}
+
+// searchClosure uses the scan package's strided check() closure pattern.
+func searchClosure(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	done := ctx.Done()
+	check := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	for i, s := range data {
+		if i%1024 == 0 && check() {
+			return n
+		}
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// searchPlain has no cancellation signal in scope: the plain Search path is
+// cancelled by abandonment at the core layer, so it is out of scope.
+func searchPlain(data []string, dist kernel) int {
+	n := 0
+	for _, s := range data {
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// count holds a context but its loop does no comparison work, so no poll is
+// required.
+func count(ctx context.Context, data []string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	n := 0
+	for _, s := range data {
+		n += len(s)
+	}
+	return n
+}
+
+// searchIgnored demonstrates an explained suppression on the line above the
+// flagged loop.
+func searchIgnored(ctx context.Context, data []string, dist kernel) int {
+	n := 0
+	//lint:ignore ctxpoll fixture: bounded input, cancellation handled by the caller
+	for _, s := range data {
+		if _, ok := dist("query", s, 1); ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+// Package edit is a hotalloc fixture: it is loaded under the import path
+// simsearch/internal/edit so the path-scoped analyzer fires, and its local
+// step function doubles as the "call into internal/edit" that marks a loop
+// as a kernel loop.
+package edit
+
+import "fmt"
+
+// step stands in for a distance-kernel call: a static call into this package
+// marks the enclosing loop as a kernel loop.
+func step(prev []int, c byte) int {
+	if len(prev) == 0 {
+		return int(c)
+	}
+	return prev[0] + int(c)
+}
+
+// bytesPerElement converts string->[]byte once per compared element.
+func bytesPerElement(words []string) int {
+	n := 0
+	for _, w := range words {
+		b := []byte(w) // want "conversion inside an innermost kernel loop"
+		n += len(b)
+	}
+	return n
+}
+
+// stringPerElement converts []byte->string once per compared element.
+func stringPerElement(rows [][]byte) int {
+	n := 0
+	for _, r := range rows {
+		s := string(r) // want "conversion inside an innermost kernel loop"
+		n += len(s)
+	}
+	return n
+}
+
+// closurePerElement allocates a closure once per element.
+func closurePerElement(words []string) int {
+	n := 0
+	for _, w := range words {
+		score := func() int { return len(w) } // want "closure allocated inside an innermost kernel loop"
+		n += score()
+	}
+	return n
+}
+
+// scratchPerElement allocates a scratch buffer and formats per element in a
+// loop that does kernel work.
+func scratchPerElement(rows [][]int) string {
+	out := ""
+	for _, prev := range rows {
+		buf := make([]int, 8) // want "make inside an innermost kernel loop"
+		buf[0] = step(prev, 'x')
+		out = fmt.Sprint(buf[0]) // want "fmt\.Sprint inside an innermost kernel loop"
+	}
+	return out
+}
+
+// decodeLoop is a cold loop (no kernel call): fmt and make are allowed, the
+// serialization shape.
+func decodeLoop(rows [][]int) (string, error) {
+	out := ""
+	for _, r := range rows {
+		buf := make([]int, 4)
+		if len(r) > len(buf) {
+			return "", fmt.Errorf("row too wide: %d", len(r))
+		}
+		out = fmt.Sprint(len(r))
+	}
+	return out, nil
+}
+
+// outerScratch hoists its buffer into the outer loop, which is not innermost
+// and therefore not checked; the innermost loop itself is clean.
+func outerScratch(rows [][]int) int {
+	n := 0
+	for _, r := range rows {
+		buf := make([]int, len(r))
+		for i, v := range r {
+			buf[i] = v + step(r, 'x')
+		}
+		n += buf[0]
+	}
+	return n
+}
+
+// suppressedConversion demonstrates an explained suppression.
+func suppressedConversion(words []string) int {
+	n := 0
+	for _, w := range words {
+		//lint:ignore hotalloc fixture: cold path, conversion is deliberate
+		b := []byte(w)
+		n += len(b)
+	}
+	return n
+}

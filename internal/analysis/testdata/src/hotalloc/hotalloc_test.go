@@ -1,0 +1,11 @@
+package edit
+
+// helperForTests lives in a _test.go file: the analyzer exempts test files,
+// so this per-element conversion is not a finding.
+func helperForTests(words []string) int {
+	n := 0
+	for _, w := range words {
+		n += len([]byte(w))
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Package ignores is a fixture for //lint:ignore directive hygiene: the
+// malformed shapes here must be reported as findings by the driver itself
+// (analyzer name "simlint"), so suppressions cannot rot silently. Asserted
+// by a hand-written test, not want comments — the expectations are about the
+// directives themselves.
+package ignores
+
+//lint:ignore nosleeptest
+func missingReason() {}
+
+//lint:ignore nosuchanalyzer the name matches no analyzer
+func unknownName() {}

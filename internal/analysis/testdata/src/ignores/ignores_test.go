@@ -1,0 +1,27 @@
+package ignores
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMultiName: one directive suppressing two analyzers at once.
+func TestMultiName(t *testing.T) {
+	//lint:ignore nosleeptest,hotalloc fixture: exercises multi-analyzer suppression
+	time.Sleep(time.Millisecond)
+}
+
+// TestWrongAnalyzer: the directive names a different analyzer, so the
+// nosleeptest finding survives.
+func TestWrongAnalyzer(t *testing.T) {
+	//lint:ignore hotalloc fixture: names the wrong analyzer, so the finding survives
+	time.Sleep(time.Millisecond)
+}
+
+// TestTooFar: the directive sits two lines above the finding, outside the
+// same-line-or-line-above window, so the finding survives.
+func TestTooFar(t *testing.T) {
+	//lint:ignore nosleeptest fixture: two lines above the finding, so it does not apply
+
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,9 @@
+// Package clock is a nosleeptest fixture.
+package clock
+
+import "time"
+
+// Delay lives in a non-test file: time.Sleep is allowed here.
+func Delay() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,23 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleeps synchronizes with a fixed sleep — the flaky shape the analyzer
+// exists to flag.
+func TestSleeps(t *testing.T) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in test"
+	Delay()
+}
+
+// TestSuppressedPoll is a deadline-bounded poll loop, the one legitimate use
+// of a sleep in tests, carrying the mandatory explained suppression.
+func TestSuppressedPoll(t *testing.T) {
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		//lint:ignore nosleeptest fixture: deadline-bounded poll with no channel to wait on
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,12 @@
+// External test packages are a separate type-checking unit; the analyzer
+// must reach their sleeps too.
+package clock_test
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExternalSleeps(t *testing.T) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in test"
+}

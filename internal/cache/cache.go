@@ -53,8 +53,8 @@ type Options struct {
 // entry is one cached result, threaded on its shard's LRU list.
 type entry struct {
 	key        string
-	ms         []core.Match
-	prev, next *entry // MRU at head
+	ms         []core.Match // lint:cacheowned — leaves only via copyMatches
+	prev, next *entry       // MRU at head
 }
 
 // shard is one lock stripe: a map plus an intrusive LRU list.
@@ -71,7 +71,7 @@ type shard struct {
 // when it reaches zero, aborting the engine work nobody is waiting for.
 type flight struct {
 	done   chan struct{}
-	ms     []core.Match
+	ms     []core.Match // lint:cacheowned — leaves only via copyMatches
 	err    error
 	refs   atomic.Int32
 	cancel context.CancelFunc
@@ -185,6 +185,8 @@ func (c *Cache) shardFor(key string) *shard {
 
 // copyMatches returns a private copy, so callers may mutate their result
 // freely (top-k sorts in place; the executor remaps IDs in place).
+//
+//lint:copyhelper — the one sanctioned way a cache-owned slice reaches a caller.
 func copyMatches(ms []core.Match) []core.Match {
 	if ms == nil {
 		return nil

@@ -61,6 +61,7 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
+		//lint:ignore nosleeptest deadline-bounded poll of an arbitrary condition (flight refcounts, counters); not a fixed-delay sync
 		time.Sleep(time.Millisecond)
 	}
 }

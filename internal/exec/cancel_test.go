@@ -231,6 +231,7 @@ func waitForGoroutines(t *testing.T, baseline int) {
 			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
 				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 		}
+		//lint:ignore nosleeptest deadline-bounded poll of runtime.NumGoroutine, which has no channel to wait on; not a fixed-delay sync
 		time.Sleep(time.Millisecond)
 	}
 }

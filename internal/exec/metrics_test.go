@@ -166,6 +166,7 @@ func TestBatchReleasesQueryTimersEarly(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("fast query's context was not cancelled before batch end")
 		}
+		//lint:ignore nosleeptest deadline-bounded poll for a cancel that fires on a pool worker after the callback returns; no channel to wait on
 		time.Sleep(time.Millisecond)
 	}
 released:

@@ -104,6 +104,13 @@ func (t *Tree) NearestK(q string, k, maxDist int) []Match {
 	}
 	heap.Init(&fr)
 
+	// Label walks ping-pong between two reusable step buffers; a row is
+	// materialized (copied) only when it outlives its node by being queued
+	// with the node's children. Queued rows are shared read-only between
+	// siblings, so they must never alias the step buffers.
+	stepCur := make([]int, len(q)+1)
+	stepAlt := make([]int, len(q)+1)
+
 	for fr.Len() > 0 {
 		it := heap.Pop(&fr).(frontierItem)
 		if it.bound > worst() || it.bound > maxDist {
@@ -124,8 +131,9 @@ func (t *Tree) NearestK(q string, k, maxDist int) []Match {
 		alive := true
 		minV := it.bound
 		for _, c := range n.label {
-			next, mv := edit.StepBandRow(q, row, c, depth+1, band, make([]int, len(q)+1))
+			next, mv := edit.StepBandRow(q, row, c, depth+1, band, stepCur)
 			row = next
+			stepCur, stepAlt = stepAlt, stepCur
 			depth++
 			minV = mv
 			if minV > maxDist || minV > worst() {
@@ -143,8 +151,14 @@ func (t *Tree) NearestK(q string, k, maxDist int) []Match {
 				}
 			}
 		}
-		for _, c := range n.children {
-			heap.Push(&fr, frontierItem{n: c, row: row, depth: depth, bound: minV})
+		if len(n.children) > 0 {
+			if len(n.label) > 0 {
+				// row points into a step buffer; queued entries own their rows.
+				row = append([]int(nil), row...)
+			}
+			for _, c := range n.children {
+				heap.Push(&fr, frontierItem{n: c, row: row, depth: depth, bound: minV})
+			}
 		}
 	}
 

@@ -7,9 +7,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:"
+	echo "gofmt -s needed on:"
 	echo "$unformatted"
 	exit 1
 fi
@@ -20,11 +20,15 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== lint =="
+# The repo's own invariant analyzers; `-json` available for tooling.
+go run ./cmd/simlint ./...
+
 echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie
 
 echo "== bench smoke =="
 # One iteration of every benchmark, so bench code cannot silently rot.
