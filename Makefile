@@ -3,8 +3,9 @@ GO ?= go
 # Packages with nontrivial concurrency: the worker pools, the sharded
 # executor, the result cache and its coalescer, the HTTP server, the parallel
 # scan engine, the lock-free metrics primitives, the bench harness's
-# concurrent drivers, and the trie (shared frontier rows under NearestK).
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie
+# concurrent drivers, the trie (shared frontier rows under NearestK), and the
+# LSM store (searches racing writes, flushes, and background compaction).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -48,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzOpsRoundTrip$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
 	$(GO) test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lev
 	$(GO) test -run=NONE -fuzz='^FuzzReadNeverPanics$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/trie
+	$(GO) test -run=NONE -fuzz='^FuzzLiveIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lsm
 
 # Micro-benchmarks (go test -bench) plus the bit-parallel ablation with a
 # machine-readable BENCH_4.json for cross-PR perf tracking.

@@ -23,6 +23,14 @@
 // entirely and concurrent identical queries trigger exactly one search.
 // /stats and /metrics report hit/miss/eviction/coalesced counters.
 //
+// -live serves the mutable dictionary engine instead of a frozen one: the
+// dataset becomes the seed, POST /insert and /delete accept writes, and the
+// result cache (with -cache) is invalidated generation-by-generation as
+// mutations land. -livedir DIR adds persistence: segment files plus a
+// write-ahead log under DIR make acknowledged writes durable, and restarting
+// with the same DIR recovers them. -shards and -workers keep their meaning
+// (store count and search fan-out pool); -engine is ignored while live.
+//
 // Observability: GET /metrics serves Prometheus text format (request and
 // error counters, latency histograms, per-shard counters). -slowquery DUR
 // logs every query slower than DUR to stderr; -pprof mounts the standard
@@ -59,6 +67,8 @@ func main() {
 		qTimeout = flag.Duration("querytimeout", 0, "per-query deadline inside batches (0 = none)")
 		cacheOn  = flag.Bool("cache", false, "serve repeated queries from a result cache with request coalescing")
 		cacheSz  = flag.Int("cachesize", 4096, "result-cache capacity in entries (with -cache)")
+		live     = flag.Bool("live", false, "serve the mutable dictionary engine (POST /insert, /delete)")
+		liveDir  = flag.String("livedir", "", "persist the live engine under this directory (implies -live)")
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
 		slowQ    = flag.Duration("slowquery", 0, "log queries slower than this to stderr (0 = off)")
 		pprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -103,16 +113,37 @@ func main() {
 	start := time.Now()
 	var eng simsearch.Searcher
 	var ex *simsearch.Sharded
-	if *shards > 0 {
+	switch {
+	case *live || *liveDir != "":
+		if *cacheOn {
+			// The live facade wires its own cache, so mutations can bump the
+			// version-in-key generation atomically.
+			opts.CacheSize = *cacheSz
+			log.Printf("result cache enabled: %d entries", *cacheSz)
+		}
+		lv, err := simsearch.OpenLive(*liveDir, data, *shards, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lv.Close()
+		st := lv.Stats()
+		log.Printf("live engine: %d shards, %d live strings, %d segments, persistent=%v",
+			st.Shards, st.Live, st.Segments, st.Persistent)
+		eng = lv
+	case *shards > 0:
 		ex = simsearch.NewSharded(data, *shards, opts)
 		log.Printf("sharded executor: %d shards, sizes %v", ex.NumShards(), ex.ShardSizes())
 		eng = ex
-	} else {
+		if *cacheOn {
+			eng = simsearch.NewCached(eng, *cacheSz)
+			log.Printf("result cache enabled: %d entries", *cacheSz)
+		}
+	default:
 		eng = simsearch.New(data, opts)
-	}
-	if *cacheOn {
-		eng = simsearch.NewCached(eng, *cacheSz)
-		log.Printf("result cache enabled: %d entries", *cacheSz)
+		if *cacheOn {
+			eng = simsearch.NewCached(eng, *cacheSz)
+			log.Printf("result cache enabled: %d entries", *cacheSz)
+		}
 	}
 	log.Printf("engine %s over %d strings built in %v", eng.Name(), len(data), time.Since(start))
 

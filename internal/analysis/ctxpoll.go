@@ -6,7 +6,8 @@ import (
 )
 
 // CtxPoll enforces the serving-path cancellation invariant introduced in
-// PR 1: inside internal/scan, internal/exec, and internal/trie, a function
+// PR 1: inside internal/scan, internal/exec, internal/trie, and
+// internal/lsm, a function
 // that has a cancellation signal in scope (a context.Context or a
 // chan struct{} cancel channel) must actually poll it in every loop that
 // performs per-element comparison work. A compliant loop either
@@ -27,7 +28,7 @@ var CtxPoll = &Analyzer{
 }
 
 func runCtxPoll(pass *Pass) {
-	if !pathHasSuffix(pass.Path, "internal/scan", "internal/exec", "internal/trie") {
+	if !pathHasSuffix(pass.Path, "internal/scan", "internal/exec", "internal/trie", "internal/lsm") {
 		return
 	}
 	for _, f := range pass.Files {

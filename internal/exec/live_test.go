@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"simsearch/internal/core"
+)
+
+func liveSeed(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("live-seed-%04d", i))
+	}
+	return out
+}
+
+// TestLiveShardCountInvariant: results must not depend on P — a single-store
+// executor and a many-store executor answer every query identically after
+// the same mutations.
+func TestLiveShardCountInvariant(t *testing.T) {
+	seed := liveSeed(120)
+	one, err := NewLive(LiveOptions{Shards: 1, Seed: seed, FlushLimit: 16})
+	if err != nil {
+		t.Fatalf("NewLive(1): %v", err)
+	}
+	defer one.Close()
+	four, err := NewLive(LiveOptions{Shards: 4, Seed: seed, FlushLimit: 16})
+	if err != nil {
+		t.Fatalf("NewLive(4): %v", err)
+	}
+	defer four.Close()
+
+	mutate := func(x *LiveSharded) {
+		for i := 0; i < 40; i++ {
+			x.Insert(fmt.Sprintf("live-extra-%03d", i))
+		}
+		for i := 0; i < 120; i += 5 {
+			x.Delete(seed[i])
+		}
+		x.Insert(seed[10]) // revival
+		x.Flush()
+		x.Compact()
+	}
+	mutate(one)
+	mutate(four)
+
+	if one.Len() != four.Len() {
+		t.Fatalf("Len: P=1 %d vs P=4 %d", one.Len(), four.Len())
+	}
+	for i := 0; i < 120; i += 7 {
+		q := core.Query{Text: seed[i], K: 2}
+		a := one.Search(q)
+		b := four.Search(q)
+		if !core.Equal(a, b) {
+			t.Fatalf("query %+v: P=1 %v vs P=4 %v", q, a, b)
+		}
+		c, err := four.SearchContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("SearchContext: %v", err)
+		}
+		if !core.Equal(a, c) {
+			t.Fatalf("query %+v: Search %v vs SearchContext %v", q, a, c)
+		}
+	}
+}
+
+// TestLiveSeedIDLayout: after dedup, seed string i holds id i regardless of
+// which shard owns it — the frozen-engine-compatible layout.
+func TestLiveSeedIDLayout(t *testing.T) {
+	seed := []string{"alpha", "beta", "gamma", "beta", "delta"} // dup beta
+	x, err := NewLive(LiveOptions{Shards: 3, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	defer x.Close()
+	want := []string{"alpha", "beta", "gamma", "delta"}
+	if x.Len() != len(want) {
+		t.Fatalf("Len: %d, want %d", x.Len(), len(want))
+	}
+	for i, s := range want {
+		got, ok := x.StringAt(int32(i))
+		if !ok || got != s {
+			t.Fatalf("StringAt(%d) = %q, %v; want %q", i, got, ok, s)
+		}
+		// Re-inserting must report the existing binding.
+		id, added, err := x.Insert(s)
+		if err != nil || added || id != int32(i) {
+			t.Fatalf("Insert(%q): id=%d added=%v err=%v, want id=%d", s, id, added, err, i)
+		}
+	}
+	if _, ok := x.StringAt(99); ok {
+		t.Fatal("StringAt(99) resolved an unknown id")
+	}
+}
+
+// TestLiveVersionString: the cache version tag advances exactly on effective
+// mutations.
+func TestLiveVersionString(t *testing.T) {
+	x, err := NewLive(LiveOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	defer x.Close()
+	v0 := x.VersionString()
+	x.Insert("alpha")
+	v1 := x.VersionString()
+	if v1 == v0 {
+		t.Fatal("insert did not change the version string")
+	}
+	x.Insert("alpha")
+	if x.VersionString() != v1 {
+		t.Fatal("no-op insert changed the version string")
+	}
+	x.Delete("alpha")
+	if x.VersionString() == v1 {
+		t.Fatal("delete did not change the version string")
+	}
+	st := x.LiveStats()
+	if st.Inserts != 1 || st.Deletes != 1 {
+		t.Fatalf("counters: %+v, want 1 insert and 1 delete", st)
+	}
+}
+
+// TestLiveMatchesFrozenSharded: a live executor seeded with a dataset and
+// never mutated answers byte-identically to the frozen sharded executor.
+func TestLiveMatchesFrozenSharded(t *testing.T) {
+	seed := liveSeed(200)
+	live, err := NewLive(LiveOptions{Shards: 4, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	defer live.Close()
+	frozen := New(seed, Options{Shards: 4})
+	for i := 0; i < 200; i += 11 {
+		q := core.Query{Text: seed[i], K: 2}
+		if got, want := live.Search(q), frozen.Search(q); !core.Equal(got, want) {
+			t.Fatalf("query %+v: live %v vs frozen %v", q, got, want)
+		}
+	}
+}
+
+func TestMergeByID(t *testing.T) {
+	per := [][]core.Match{
+		{{ID: 0, Dist: 1}, {ID: 5, Dist: 0}},
+		nil,
+		{{ID: 2, Dist: 2}},
+		{{ID: 1, Dist: 0}, {ID: 3, Dist: 1}, {ID: 9, Dist: 2}},
+	}
+	got := mergeByID(per)
+	want := []core.Match{{ID: 0, Dist: 1}, {ID: 1, Dist: 0}, {ID: 2, Dist: 2}, {ID: 3, Dist: 1}, {ID: 5, Dist: 0}, {ID: 9, Dist: 2}}
+	if !core.Equal(got, want) {
+		t.Fatalf("mergeByID: got %v, want %v", got, want)
+	}
+	if mergeByID(nil) != nil {
+		t.Fatal("mergeByID(nil) not nil")
+	}
+}

@@ -9,6 +9,8 @@
 //	GET  /topk?q=TEXT&n=N&maxk=M   the N closest matches within M edits
 //	GET  /hamming?q=TEXT&k=N       Hamming matches (trie engines only)
 //	POST /search/batch             JSON batch of queries, answered together
+//	POST /insert                   add a string (live engines only)
+//	POST /delete                   tombstone a string (live engines only)
 //	GET  /stats                    engine, dataset, and per-shard counters
 //	GET  /metrics                  Prometheus text-format scrape endpoint
 //	GET  /healthz                  liveness probe
@@ -20,6 +22,14 @@
 // over MaxBody get 413, and a failing query inside a batch reports its own
 // per-result error instead of failing the whole batch — on the sharded and
 // the serial path alike. Serve/ListenAndServe add graceful shutdown.
+//
+// When the engine is the live mutable dictionary (see internal/lsm and the
+// facade's NewLive), /insert and /delete accept JSON writes; each effective
+// mutation bumps the result cache's version-in-key generation before the
+// response is written, so a search issued after the acknowledgement can
+// never be served a pre-mutation cached result. Matched strings are then
+// echoed through the engine's own id resolver instead of the static data
+// slice, because the dictionary outgrows its seed.
 //
 // When the engine is wrapped in a result cache (internal/cache), hits are
 // served before any executor work, and /stats and /metrics expose the
@@ -56,6 +66,12 @@ type Server struct {
 	mux      *http.ServeMux
 	reg      *metrics.Registry
 	inflight *metrics.Gauge
+	// live is the write surface, discovered from the engine chain at wiring
+	// time; nil for frozen engines (writes then get 501).
+	live liveMutator
+	// strAt resolves match ids for mutable engines, where the static data
+	// slice covers only the seed.
+	strAt stringResolver
 	// MaxK caps the accepted threshold so one request cannot trigger an
 	// effectively unbounded scan. Defaults to 16 (the paper's largest k).
 	MaxK int
@@ -102,8 +118,16 @@ func New(eng core.Searcher, data []string) *Server {
 	}
 	s.inflight = s.reg.Gauge("simsearch_http_inflight_requests",
 		"Requests currently being served.")
+	if lm, ok := engineAs[liveMutator](eng); ok {
+		s.live = lm
+	}
+	if sr, ok := engineAs[stringResolver](eng); ok {
+		s.strAt = sr
+	}
 	s.mux.Handle("/search", s.instrument("search", s.handleSearch))
 	s.mux.Handle("/search/batch", s.instrument("batch", s.handleBatch))
+	s.mux.Handle("/insert", s.instrument("insert", s.handleInsert))
+	s.mux.Handle("/delete", s.instrument("delete", s.handleDelete))
 	s.mux.Handle("/topk", s.instrument("topk", s.handleTopK))
 	s.mux.Handle("/hamming", s.instrument("hamming", s.handleHamming))
 	s.mux.Handle("/stats", s.instrument("stats", s.handleStats))
@@ -288,7 +312,13 @@ func (s *Server) queryLenOK(w http.ResponseWriter, q string) bool {
 func (s *Server) convert(ms []core.Match) []MatchJSON {
 	out := make([]MatchJSON, len(ms))
 	for i, m := range ms {
-		out[i] = MatchJSON{ID: m.ID, String: s.data[m.ID], Dist: m.Dist}
+		mj := MatchJSON{ID: m.ID, Dist: m.Dist}
+		if s.strAt != nil {
+			mj.String, _ = s.strAt.StringAt(m.ID)
+		} else {
+			mj.String = s.data[m.ID]
+		}
+		out[i] = mj
 	}
 	return out
 }
@@ -579,6 +609,10 @@ type CacheStatsJSON struct {
 	Entries   int     `json:"entries"`
 	Capacity  int     `json:"capacity"`
 	HitRate   float64 `json:"hit_rate"`
+	// Version is the engine generation baked into every cache key; for live
+	// engines it advances on each effective mutation, making invalidation
+	// observable here.
+	Version string `json:"version,omitempty"`
 }
 
 // ScanStatsJSON is the sequential-scan section of the /stats payload: the
@@ -603,6 +637,7 @@ type StatsResponse struct {
 	MaxLen  int              `json:"max_len"`
 	Scan    *ScanStatsJSON   `json:"scan,omitempty"`
 	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
+	Live    *LiveStatsJSON   `json:"live,omitempty"`
 	Shards  []ShardStatsJSON `json:"shards,omitempty"`
 }
 
@@ -631,7 +666,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = &CacheStatsJSON{
 			Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
 			Evictions: cs.Evictions, Entries: cs.Entries, Capacity: cs.Capacity,
-			HitRate: cs.HitRate(),
+			HitRate: cs.HitRate(), Version: c.Version(),
+		}
+	}
+	if ls, ok := engineAs[liveStatser](s.eng); ok {
+		st := ls.LiveStats()
+		// The static dataset stats describe only the seed; the live count is
+		// the current dictionary size.
+		resp.Count = st.Live
+		resp.Live = &LiveStatsJSON{
+			Shards: st.Shards, LiveStrings: st.Live, KnownStrings: st.Known,
+			Tombstones: st.Tombstones, DeltaEntries: st.DeltaEntries,
+			Segments: st.Segments, SegmentStrings: st.SegmentStrings,
+			ArenaBytes: st.ArenaBytes, Flushes: st.Flushes,
+			Compactions: st.Compactions, Inserts: st.Inserts,
+			Deletes: st.Deletes, Generation: st.Generation,
+			Persistent: st.Persistent,
 		}
 	}
 	if ex, ok := engineAs[*exec.Sharded](s.eng); ok {

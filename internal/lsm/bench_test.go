@@ -1,0 +1,54 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"simsearch/internal/core"
+)
+
+// BenchmarkLiveInsert measures the write path: WAL-less insert into the
+// delta with periodic flushes at the default limit.
+func BenchmarkLiveInsert(b *testing.B) {
+	st, err := Open(Options{MaxSegments: 1 << 30})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Insert(fmt.Sprintf("bench-string-%d", i)); err != nil {
+			b.Fatalf("Insert: %v", err)
+		}
+	}
+}
+
+// BenchmarkLiveSearch measures a query over a store with a populated delta
+// in front of several segments — the shape a live service actually scans.
+func BenchmarkLiveSearch(b *testing.B) {
+	st, err := Open(Options{FlushLimit: 1 << 20, MaxSegments: 100})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	for i := 0; i < 4096; i++ {
+		st.Insert(fmt.Sprintf("segment-string-%d", i))
+		if i%1024 == 1023 {
+			if err := st.Flush(); err != nil {
+				b.Fatalf("Flush: %v", err)
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		st.Insert(fmt.Sprintf("delta-string-%d", i))
+	}
+	q := core.Query{Text: "segment-string-2048", K: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := st.Search(q); len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

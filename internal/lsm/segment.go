@@ -1,0 +1,177 @@
+package lsm
+
+import (
+	"sort"
+
+	"simsearch/internal/core"
+	"simsearch/internal/edit"
+	"simsearch/internal/scan"
+)
+
+// record is one (id, string, liveness) triple — the unit of flushing,
+// compaction, and serialization. The id<->string binding is permanent; only
+// liveness changes over a record's lifetime.
+type record struct {
+	id   int32
+	s    string
+	live bool
+}
+
+// segment is an immutable generation of the store: the newest-wins state of
+// every id it covers, with the live strings packed into a scan arena. All
+// fields are read-only after newSegment returns, so searches and the
+// compactor share segments without locks.
+type segment struct {
+	gen    uint64 // file-naming generation (unique, monotonic)
+	maxSeq uint64 // newest WAL sequence folded into this segment
+	// Live records, ascending by id; strs is parallel to ids and is the
+	// arena's input, so an arena match's slot-local ID indexes both.
+	ids  []int32
+	strs []string
+	// Tombstones, ascending by id. The strings ride along so compaction
+	// and serialization never need the store's dictionary.
+	dead     []int32
+	deadStrs []string
+	// state holds every id the segment covers: presence means "this
+	// segment knows id", the value is its liveness. Newer segments shadow
+	// older ones through this map.
+	state map[int32]bool
+	arena *scan.Arena
+}
+
+// newSegment builds a segment from records sorted by ascending id.
+func newSegment(gen, maxSeq uint64, recs []record) *segment {
+	seg := &segment{gen: gen, maxSeq: maxSeq, state: make(map[int32]bool, len(recs))}
+	for _, r := range recs {
+		seg.state[r.id] = r.live
+		if r.live {
+			seg.ids = append(seg.ids, r.id)
+			seg.strs = append(seg.strs, r.s)
+		} else {
+			seg.dead = append(seg.dead, r.id)
+			seg.deadStrs = append(seg.deadStrs, r.s)
+		}
+	}
+	seg.arena = scan.NewArena(seg.strs)
+	return seg
+}
+
+// search runs the compiled pattern over the segment's live strings and remaps
+// slot-local match IDs to global ids. Output stays ID-ascending because ids
+// is ascending. ok=false when cancelled.
+func (seg *segment) search(p *edit.MyersPattern, k int, cancel <-chan struct{}) ([]core.Match, bool) {
+	ms, ok := seg.arena.Search(p, k, cancel)
+	if !ok {
+		return nil, false
+	}
+	if len(ms) == 0 {
+		return nil, true
+	}
+	out := make([]core.Match, len(ms))
+	for i, m := range ms {
+		out[i] = core.Match{ID: seg.ids[m.ID], Dist: m.Dist}
+	}
+	return out, true
+}
+
+// records returns every record the segment covers (live and dead), ascending
+// by id — the input form for compaction merges and serialization.
+func (seg *segment) records() []record {
+	out := make([]record, 0, len(seg.ids)+len(seg.dead))
+	i, j := 0, 0
+	for i < len(seg.ids) && j < len(seg.dead) {
+		if seg.ids[i] < seg.dead[j] {
+			out = append(out, record{id: seg.ids[i], s: seg.strs[i], live: true})
+			i++
+		} else {
+			out = append(out, record{id: seg.dead[j], s: seg.deadStrs[j], live: false})
+			j++
+		}
+	}
+	for ; i < len(seg.ids); i++ {
+		out = append(out, record{id: seg.ids[i], s: seg.strs[i], live: true})
+	}
+	for ; j < len(seg.dead); j++ {
+		out = append(out, record{id: seg.dead[j], s: seg.deadStrs[j], live: false})
+	}
+	return out
+}
+
+// mergeSegments folds the given segments (newest first, the in-memory order)
+// into one newest-wins segment. Tombstones are kept: the id<->string binding
+// must survive so a later re-insert revives the original id. The merged
+// segment carries the newest input's maxSeq — ordering on recovery is by
+// maxSeq, so segments flushed while the merge ran stay newer — and a fresh
+// gen for file naming.
+func mergeSegments(inputs []*segment, gen uint64) *segment {
+	state := make(map[int32]record)
+	for i := len(inputs) - 1; i >= 0; i-- {
+		for _, r := range inputs[i].records() {
+			state[r.id] = r
+		}
+	}
+	recs := make([]record, 0, len(state))
+	for _, r := range state {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].id < recs[b].id })
+	return newSegment(gen, inputs[0].maxSeq, recs)
+}
+
+// mergeRuns sorts a match slice that is a concatenation of ID-ascending runs
+// by merging runs bottom-up (the scan-package algorithm, restated over
+// core.Match). Run boundaries are exactly the ID descents.
+func mergeRuns(ms []core.Match) []core.Match {
+	if len(ms) < 2 {
+		return ms
+	}
+	starts := []int{0}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].ID <= ms[i-1].ID {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) == 1 {
+		return ms
+	}
+	buf := make([]core.Match, len(ms))
+	src, dst := ms, buf
+	for len(starts) > 1 {
+		ns := make([]int, 0, (len(starts)+1)/2)
+		for i := 0; i < len(starts); i += 2 {
+			lo := starts[i]
+			if i+1 == len(starts) {
+				copy(dst[lo:], src[lo:])
+				ns = append(ns, lo)
+				continue
+			}
+			mid := starts[i+1]
+			hi := len(src)
+			if i+2 < len(starts) {
+				hi = starts[i+2]
+			}
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+			ns = append(ns, lo)
+		}
+		starts = ns
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeInto merges two ID-ascending runs into out (len(out) == len(a)+len(b)).
+func mergeInto(out, a, b []core.Match) {
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ID < b[j].ID {
+			out[o] = a[i]
+			i++
+		} else {
+			out[o] = b[j]
+			j++
+		}
+		o++
+	}
+	copy(out[o:], a[i:])
+	copy(out[o+len(a)-i:], b[j:])
+}

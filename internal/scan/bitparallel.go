@@ -70,16 +70,23 @@ func (e *Engine) searchBitParallel(ctx context.Context, q Query) ([]Match, error
 	return mergeRuns(out), nil
 }
 
-// scanSlots streams arena slots [lo, hi) through the compiled pattern,
+// scanSlots streams the engine's arena slots [lo, hi) through the compiled
+// pattern; see scanArenaSlots.
+func (e *Engine) scanSlots(p *edit.MyersPattern, k int, lo, hi int32, cancel <-chan struct{}) ([]Match, bool) {
+	return scanArenaSlots(e.arena, e.comps, p, k, lo, hi, cancel)
+}
+
+// scanArenaSlots streams arena slots [lo, hi) through the compiled pattern,
 // polling cancel every ctxStride comparisons. It reports ok=false when
 // cancelled mid-scan. Each call owns its scratch, so concurrent chunk scans
 // never share kernel state; the comparison count is flushed once per call.
-func (e *Engine) scanSlots(p *edit.MyersPattern, k int, lo, hi int32, cancel <-chan struct{}) ([]Match, bool) {
-	a := e.arena
+// Shared by the frozen BitParallel rung and the exported Arena (segment scans
+// in internal/lsm), so both visit candidates identically.
+func scanArenaSlots(a *arena, comps CompCounter, p *edit.MyersPattern, k int, lo, hi int32, cancel <-chan struct{}) ([]Match, bool) {
 	var ms []Match
 	var pairs uint64
-	if e.comps != nil {
-		defer func() { e.comps.Add(pairs) }()
+	if comps != nil {
+		defer func() { comps.Add(pairs) }()
 	}
 	var scratch edit.MyersScratch
 	for s := lo; s < hi; s++ {

@@ -1,0 +1,49 @@
+// Exported arena handle for engines outside this package.
+//
+// The live store's immutable segments (internal/lsm) reuse the BitParallel
+// packed layout: each segment packs its strings into an Arena and streams the
+// length-filtered slot window through a compiled Myers pattern, exactly like
+// the frozen BitParallel rung. Keeping the scan loop shared (scanArenaSlots)
+// guarantees a segment scan and a frozen scan visit candidates identically,
+// which is what the differential tests over the live store rely on.
+package scan
+
+import "simsearch/internal/edit"
+
+// Arena is an immutable, length-bucketed packed layout over a fixed string
+// slice. Match IDs returned by Search are indices into that slice (the caller
+// remaps them to its own ID space).
+type Arena struct {
+	a *arena
+}
+
+// NewArena packs data into a fresh arena. The input slice is copied into the
+// packed buffer; the caller may discard it afterwards.
+func NewArena(data []string) *Arena {
+	return &Arena{a: buildArena(data)}
+}
+
+// Len returns the number of packed strings.
+func (ar *Arena) Len() int { return len(ar.a.ids) }
+
+// Bytes returns the packed buffer size.
+func (ar *Arena) Bytes() int { return ar.a.bytes() }
+
+// Buckets returns the number of distinct, non-empty length buckets.
+func (ar *Arena) Buckets() int { return ar.a.buckets() }
+
+// Search streams the length-window slots through the compiled pattern and
+// returns ID-sorted matches with slot-local IDs (indices into the NewArena
+// input). It polls cancel every ctxStride comparisons and reports ok=false
+// when cancelled mid-scan.
+func (ar *Arena) Search(p *edit.MyersPattern, k int, cancel <-chan struct{}) ([]Match, bool) {
+	lo, hi := ar.a.slotRange(p.Len()-k, p.Len()+k)
+	if lo == hi {
+		return nil, true
+	}
+	ms, ok := scanArenaSlots(ar.a, nil, p, k, lo, hi, cancel)
+	if !ok {
+		return nil, false
+	}
+	return mergeRuns(ms), true
+}

@@ -1,0 +1,147 @@
+package simsearch
+
+// Live mutable dictionary facade: the LSM-backed engine that accepts inserts
+// and deletes while serving searches. See internal/lsm for the storage
+// design (delta + immutable segments + compaction + WAL) and internal/exec
+// for the sharded executor this wraps.
+
+import (
+	"context"
+
+	"simsearch/internal/cache"
+	"simsearch/internal/core"
+	"simsearch/internal/exec"
+	"simsearch/internal/pool"
+)
+
+// LiveStats aggregates the live engine's shape: live/known strings,
+// tombstones, unflushed delta entries, segment counts, flush/compaction
+// totals, and the cache-invalidation generation.
+type LiveStats = exec.LiveStats
+
+// Live is the mutable engine: a sharded LSM store behind the standard
+// Searcher interface, optionally fronted by the query-result cache. Every
+// effective mutation bumps a generation that is pushed into the cache's
+// version-in-key scheme, so a search issued after an insert or delete can
+// never observe a pre-mutation cached result.
+//
+// Search results are byte-identical to a frozen engine built over the
+// current live strings with the dictionary's ids: each distinct string is
+// bound to one id at first insert, delete tombstones it, and re-inserting
+// revives the same id.
+type Live struct {
+	ex  *exec.LiveSharded
+	eng Searcher // ex, or the cache wrapping it
+	c   *cache.Cache
+}
+
+// NewLive builds a memory-only live engine seeded with data (duplicates
+// dropped, first occurrence wins, string i gets id i). shards <= 0 selects
+// one store per CPU. opts contributes Workers (search fan-out pool),
+// CacheSize (query-result cache above the fan-out), FlushLimit and
+// MaxSegments via their defaults; other engine options do not apply to the
+// live store.
+func NewLive(data []string, shards int, opts Options) *Live {
+	lv, err := OpenLive("", data, shards, opts)
+	if err != nil {
+		// Without a directory there is no IO to fail; this is unreachable.
+		panic(err)
+	}
+	return lv
+}
+
+// OpenLive is NewLive with persistence: segment files and a write-ahead log
+// under dir (one subdirectory per shard) make every acknowledged mutation
+// durable, and opening an existing directory recovers the persisted state
+// (data seeds only untouched shards).
+func OpenLive(dir string, data []string, shards int, opts Options) (*Live, error) {
+	var runner pool.Runner
+	if opts.Workers > 0 {
+		runner = pool.Fixed{Workers: opts.Workers}
+	}
+	ex, err := exec.NewLive(exec.LiveOptions{
+		Shards: shards,
+		Seed:   data,
+		Dir:    dir,
+		Runner: runner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lv := &Live{ex: ex, eng: ex}
+	if opts.CacheSize > 0 {
+		lv.c = cache.New(ex, cache.Options{
+			Capacity: opts.CacheSize,
+			Version:  ex.VersionString(),
+		})
+		lv.eng = lv.c
+	}
+	return lv, nil
+}
+
+// Insert adds s to the live dictionary, returning its id and whether the
+// engine changed (false when s was already live). The cache generation is
+// bumped on change.
+func (l *Live) Insert(s string) (int32, bool, error) {
+	id, added, err := l.ex.Insert(s)
+	if added {
+		l.bumpCache()
+	}
+	return id, added, err
+}
+
+// Delete removes s, returning whether the engine changed. The id<->string
+// binding is kept, so re-inserting s later revives the same id.
+func (l *Live) Delete(s string) (bool, error) {
+	changed, err := l.ex.Delete(s)
+	if changed {
+		l.bumpCache()
+	}
+	return changed, err
+}
+
+// bumpCache pushes the current generation into the cache's version-in-key
+// scheme, atomically retiring every pre-mutation entry.
+func (l *Live) bumpCache() {
+	if l.c != nil {
+		l.c.SetVersion(l.ex.VersionString())
+	}
+}
+
+// Flush freezes every shard's delta into an immutable segment.
+func (l *Live) Flush() error { return l.ex.Flush() }
+
+// Compact merges every shard's segments into one generation per shard.
+func (l *Live) Compact() error { return l.ex.Compact() }
+
+// Close releases the stores (and their WAL files, when persistent).
+func (l *Live) Close() error { return l.ex.Close() }
+
+// Search implements Searcher.
+func (l *Live) Search(q Query) []Match { return l.eng.Search(q) }
+
+// SearchContext makes Live context-aware: cancellation propagates into the
+// stride-polled scan loops.
+func (l *Live) SearchContext(ctx context.Context, q Query) ([]Match, error) {
+	return core.SearchContext(ctx, l.eng, q)
+}
+
+// Name implements Searcher.
+func (l *Live) Name() string { return l.eng.Name() }
+
+// Len implements Searcher: the live string count.
+func (l *Live) Len() int { return l.ex.Len() }
+
+// Unwrap exposes the decorator chain (cache, then executor) so
+// observability surfaces can discover the layers, mirroring Cached.Unwrap.
+func (l *Live) Unwrap() Searcher { return l.eng }
+
+// StringAt resolves a result id to its string. Bindings are permanent:
+// ids captured from a search remain resolvable after concurrent deletes.
+func (l *Live) StringAt(id int32) (string, bool) { return l.ex.StringAt(id) }
+
+// VersionString returns the generation tag used for cache invalidation.
+func (l *Live) VersionString() string { return l.ex.VersionString() }
+
+// Stats returns the aggregated store statistics.
+func (l *Live) Stats() LiveStats { return l.ex.LiveStats() }

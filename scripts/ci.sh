@@ -28,7 +28,7 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm
 
 echo "== bench smoke =="
 # One iteration of every benchmark, so bench code cannot silently rot.
@@ -43,5 +43,6 @@ go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit
 go test -run=NONE -fuzz='^FuzzOpsRoundTrip$' -fuzztime=5s ./internal/edit
 go test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$' -fuzztime=5s ./internal/lev
 go test -run=NONE -fuzz='^FuzzReadNeverPanics$' -fuzztime=5s ./internal/trie
+go test -run=NONE -fuzz='^FuzzLiveIdentical$' -fuzztime=5s ./internal/lsm
 
 echo "CI green."
