@@ -4,8 +4,9 @@ GO ?= go
 # executor, the result cache and its coalescer, the HTTP server, the parallel
 # scan engine, the lock-free metrics primitives, the bench harness's
 # concurrent drivers, the trie (shared frontier rows under NearestK), and the
-# LSM store (searches racing writes, flushes, and background compaction).
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm
+# LSM store (searches racing writes, flushes, and background compaction),
+# and the cascade (shared engine state under concurrent queries).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -43,6 +44,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzEnginesAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzBitParallelIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzCascadeIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/exec
 	$(GO) test -run=NONE -fuzz='^FuzzCachedIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/cache
 	$(GO) test -run=NONE -fuzz='^FuzzKernelsAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
@@ -51,15 +53,20 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzReadNeverPanics$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/trie
 	$(GO) test -run=NONE -fuzz='^FuzzLiveIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lsm
 
-# Micro-benchmarks (go test -bench) plus the bit-parallel ablation with a
-# machine-readable BENCH_4.json for cross-PR perf tracking.
+# Micro-benchmarks (go test -bench) plus the bit-parallel ablation
+# (BENCH_4.json) and the cascade stage ablation over the DNA workload
+# (BENCH_7.json) for cross-PR perf tracking.
 bench:
 	$(GO) test -bench . -benchmem -run=NONE .
 	$(GO) run ./cmd/paperbench -workload city -bitparallel -json BENCH_4.json
+	$(GO) run ./cmd/paperbench -workload dna -cascade -json BENCH_7.json
 
 # One iteration of every benchmark; part of CI so bench code cannot rot.
+# The cascade smoke additionally fails if any enabled filter stage stops
+# pruning (or diverges from the DP oracle) on a tiny DNA dataset.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./... > /dev/null
+	$(GO) run ./cmd/paperbench -cascadecheck
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,65 @@
+package simsearch_test
+
+import (
+	"strings"
+	"testing"
+
+	"simsearch"
+)
+
+// FuzzCascadeIdentical is the cascade acceptance harness: on fuzz-generated
+// datasets over both of the paper's alphabets, the filter cascade must
+// return byte-identical results to the DP scan — and to the bit-parallel
+// scan — on every engine path: direct, sharded, and cached. The seeds
+// deliberately include strings shorter than the cascade's q-gram length,
+// duplicates, k=0, and non-ASCII bytes (which force the byte backend and
+// exercise the frequency filter's rare-symbol bucket).
+func FuzzCascadeIdentical(f *testing.F) {
+	cities := simsearch.GenerateCities(12, 7)
+	reads := simsearch.GenerateDNAReads(6, 7)
+	f.Add(strings.Join(cities, "\n"), cities[0], 2)
+	f.Add(strings.Join(reads, "\n"), reads[0], 8) // packed backend, >64-byte strings
+	f.Add("A\nAC\nACG\nACGT", "ACX", 1)           // shorter than q, mixed validity
+	f.Add("a\nab\nabc\nabcd", "abx", 1)
+	f.Add("dup\ndup\ndup", "dup", 0) // k=0 exact lookup
+	f.Add("", "anything", 3)
+	f.Add("café\nnaïve", "cafe", 2)
+
+	f.Fuzz(func(t *testing.T, blob, q string, k int) {
+		if len(blob) > 2048 || len(q) > 160 {
+			t.Skip("cap work per input")
+		}
+		data := strings.Split(blob, "\n")
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		if k < 0 {
+			k = -k
+		}
+		k %= 17 // up to the paper's largest DNA threshold
+		query := simsearch.Query{Text: q, K: k}
+
+		// The DP scan defines correctness for this harness.
+		want := simsearch.NewScan(data).Search(query)
+
+		engines := []simsearch.Searcher{
+			simsearch.NewCascade(data),        // direct
+			simsearch.NewBitParallel(data, 0), // cross-check rung
+			simsearch.NewSharded(data, 3, simsearch.Options{Algorithm: simsearch.Cascade}),     // sharded
+			simsearch.New(data, simsearch.Options{Algorithm: simsearch.Cascade, CacheSize: 8}), // cached
+		}
+		for _, eng := range engines {
+			got := eng.Search(query)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %v, want %v (q=%q k=%d data=%q)",
+					eng.Name(), got, want, q, k, data)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: got %v, want %v (q=%q k=%d data=%q)",
+						eng.Name(), got, want, q, k, data)
+				}
+			}
+		}
+	})
+}

@@ -11,7 +11,9 @@
 //	paperbench -workload city  # only city-name experiments
 //	paperbench -cache          # + Zipf-skewed replay through the result cache
 //	paperbench -bitparallel    # + the bit-parallel scan ablation (Table XV)
-//	paperbench -json OUT.json  # + machine-readable records (implies -bitparallel)
+//	paperbench -cascade        # + the filter-cascade ablation (Table XVI)
+//	paperbench -cascadecheck   # CI gate: cascade correctness + per-stage pruning on tiny datasets
+//	paperbench -json OUT.json  # + machine-readable records (implies -bitparallel unless -cascade)
 //
 // Per §5.2, only the result-calculation time is reported; dataset generation
 // and index construction are excluded from every cell. Cells whose direct
@@ -43,13 +45,26 @@ func main() {
 		shards   = flag.Bool("shards", false, "also run the sharded-executor sweep (Table XIV), the serving-path analogue of the paper's worker sweep")
 		workers  = flag.Int("workers", 0, "pool workers for the shard sweep (default GOMAXPROCS)")
 		bitp     = flag.Bool("bitparallel", false, "also run the bit-parallel scan ablation (Table XV: paper kernel vs banded vs query-compiled bit-parallel, serial and intra-query parallel)")
-		jsonPath = flag.String("json", "", "write machine-readable measurements (engine, dataset, k, ns/query, comparisons) to this file; implies -bitparallel")
+		casc     = flag.Bool("cascade", false, "also run the filter-cascade ablation (Table XVI: cascade vs bit-parallel scan at k=1..3, each filter stage toggled off)")
+		cascChk  = flag.Bool("cascadecheck", false, "run only the cascade CI gate: tiny-dataset correctness vs the DP oracle plus per-stage prune checks")
+		jsonPath = flag.String("json", "", "write machine-readable measurements (engine, dataset, k, ns/query, comparisons) to this file; implies -bitparallel unless -cascade is given")
 		cacheRun = flag.Bool("cache", false, "also replay a Zipf-skewed query stream through the result cache (hit rate vs speedup)")
 		cacheN   = flag.Int("cachequeries", 2000, "stream length for the -cache replay")
 		cacheSz  = flag.Int("cachesize", 512, "cache capacity for the -cache replay")
 		cacheS   = flag.Float64("cacheskew", 1.4, "Zipf exponent for the -cache replay (larger = more head-heavy)")
 	)
 	flag.Parse()
+
+	if *cascChk {
+		// CI gate, deliberately independent of the scaled workloads: tiny
+		// fixed datasets keep it under a second.
+		if err := bench.CascadeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("cascade check ok: results identical to the DP scan and every filter stage pruned, on both alphabets")
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	if *scale > 0 {
@@ -129,7 +144,7 @@ func main() {
 		{"figure7", only(0, 7) && needDNA, func() *bench.Table { return bench.Figure7(dna) }, []*bench.Workload{&dna}},
 	}
 
-	if *jsonPath != "" {
+	if *jsonPath != "" && !*casc {
 		*bitp = true
 	}
 
@@ -147,13 +162,13 @@ func main() {
 		}
 		ran++
 	}
-	if ran == 0 && !*extra && !*shards && !*cacheRun && !*bitp {
+	if ran == 0 && !*extra && !*shards && !*cacheRun && !*bitp && !*casc {
 		fmt.Fprintln(os.Stderr, "paperbench: no experiment selected (check -table/-figure/-workload)")
 		os.Exit(1)
 	}
 
+	report := bench.NewReport(cfg.Scale)
 	if *bitp {
-		report := bench.NewReport(cfg.Scale)
 		for _, w := range []struct {
 			need bool
 			wl   bench.Workload
@@ -171,13 +186,34 @@ func main() {
 				report.Add(bench.BitParallelRecords(w.wl, *workers)...)
 			}
 		}
-		if *jsonPath != "" {
-			if err := report.WriteFile(*jsonPath); err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *jsonPath, err)
-				os.Exit(1)
+	}
+
+	if *casc {
+		for _, w := range []struct {
+			need bool
+			wl   bench.Workload
+		}{{needCity, city}, {needDNA, dna}} {
+			if !w.need {
+				continue
 			}
-			fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d)\n\n", len(report.Records), *jsonPath, report.GOMAXPROCS)
+			start := time.Now()
+			tab := bench.TableXVI(w.wl)
+			tab.Render(os.Stdout)
+			fmt.Printf("[tableXVI %s completed in %v; best row: %s]\n\n",
+				w.wl.Name, time.Since(start).Round(time.Millisecond), tab.Best())
+			if *jsonPath != "" {
+				report.Strings = len(w.wl.Data)
+				report.Add(bench.CascadeRecords(w.wl)...)
+			}
 		}
+	}
+
+	if *jsonPath != "" && (*bitp || *casc) {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d)\n\n", len(report.Records), *jsonPath, report.GOMAXPROCS)
 	}
 
 	if *extra {

@@ -57,7 +57,7 @@ func main() {
 		dataPath = flag.String("data", "", "dataset file, one string per line")
 		gen      = flag.String("gen", "", "generate a synthetic dataset instead: city or dna")
 		n        = flag.Int("n", 40000, "synthetic dataset size")
-		engine   = flag.String("engine", "trie", "engine: scan, bitparallel, trie, bktree, qgram, suffixarray")
+		engine   = flag.String("engine", "trie", "engine: scan, bitparallel, cascade, trie, bktree, qgram, suffixarray")
 		workers  = flag.Int("workers", 0, "scan engine workers (unsharded) or executor pool workers (sharded)")
 		shards   = flag.Int("shards", 0, "partition the dataset across this many shards (0 = single engine)")
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -98,6 +98,8 @@ func main() {
 		opts.Algorithm = simsearch.Scan
 	case "bitparallel":
 		opts.Algorithm = simsearch.BitParallel
+	case "cascade":
+		opts.Algorithm = simsearch.Cascade
 	case "trie":
 		opts.Algorithm = simsearch.Trie
 	case "bktree":

@@ -6,8 +6,8 @@ import (
 )
 
 // CtxPoll enforces the serving-path cancellation invariant introduced in
-// PR 1: inside internal/scan, internal/exec, internal/trie, and
-// internal/lsm, a function
+// PR 1: inside internal/scan, internal/exec, internal/trie, internal/lsm,
+// internal/bitpack, and internal/cascade, a function
 // that has a cancellation signal in scope (a context.Context or a
 // chan struct{} cancel channel) must actually poll it in every loop that
 // performs per-element comparison work. A compliant loop either
@@ -28,7 +28,8 @@ var CtxPoll = &Analyzer{
 }
 
 func runCtxPoll(pass *Pass) {
-	if !pathHasSuffix(pass.Path, "internal/scan", "internal/exec", "internal/trie", "internal/lsm") {
+	if !pathHasSuffix(pass.Path, "internal/scan", "internal/exec", "internal/trie", "internal/lsm",
+		"internal/bitpack", "internal/cascade") {
 		return
 	}
 	for _, f := range pass.Files {
@@ -142,9 +143,9 @@ func collectLocalClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast
 }
 
 // loopDoesComparisonWork reports whether the loop body invokes per-element
-// engine work: a call into internal/edit (a distance kernel), a dynamic
-// kernel call through a func-typed variable, or an engine Search-family
-// method.
+// engine work: a call into internal/edit or internal/bitpack (a distance
+// kernel), a dynamic kernel call through a func-typed variable, or an engine
+// Search-family method.
 func loopDoesComparisonWork(pass *Pass, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -155,7 +156,8 @@ func loopDoesComparisonWork(pass *Pass, body *ast.BlockStmt) bool {
 		if !ok {
 			return true
 		}
-		if calleeIsPkgFunc(pass.Info, call, "internal/edit") {
+		if calleeIsPkgFunc(pass.Info, call, "internal/edit") ||
+			calleeIsPkgFunc(pass.Info, call, "internal/bitpack") {
 			found = true
 			return false
 		}

@@ -20,6 +20,22 @@ type Record struct {
 	Comparisons uint64  `json:"comparisons"`
 	Workers     int     `json:"workers,omitempty"`
 	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+
+	// Stages is the cascade's per-stage survivor funnel for this cell (only
+	// set by the cascade ablation). Each count is the number of candidates
+	// alive after that stage; the prune rate of a stage is one minus the
+	// ratio of consecutive counts.
+	Stages *StageCounts `json:"stages,omitempty"`
+}
+
+// StageCounts is the cascade survivor funnel: candidates that passed the
+// length bucket, then the frequency-vector stage, then the q-gram count
+// stage (equal to verify-kernel invocations), then final matches.
+type StageCounts struct {
+	Candidates     uint64 `json:"length_survivors"`
+	FreqSurvivors  uint64 `json:"frequency_survivors"`
+	QGramSurvivors uint64 `json:"qgram_survivors"`
+	Matches        uint64 `json:"matches"`
 }
 
 // Report is the top-level BENCH_*.json payload. GOMAXPROCS is recorded

@@ -4,7 +4,10 @@
 // compare packed codes instead of bytes.
 package bitpack
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Code values for the DNA alphabet. Code 0 is reserved so that a zero word
 // never aliases a valid symbol run.
@@ -50,6 +53,64 @@ func MustPack(s string) Seq {
 	}
 	return seq
 }
+
+// PackLossy encodes s mapping every non-DNA byte to the reserved code 0.
+// Because code 0 never equals a valid symbol code (1..5), the edit distance
+// between a lossily-packed query and any all-valid packed sequence is exactly
+// the byte-level edit distance: invalid query positions mismatch every
+// candidate symbol, just as the unknown byte would, and query positions are
+// never compared against each other in the dynamic program. This lets a
+// packed corpus answer arbitrary queries exactly without falling back to an
+// unpacked scan.
+func PackLossy(s string) Seq {
+	seq := Seq{n: len(s), words: make([]uint64, packedWords(len(s)))}
+	for i := 0; i < len(s); i++ {
+		seq.words[i/symbolsPerWord] |= uint64(encodeTable[s[i]]) << uint(3*(i%symbolsPerWord))
+	}
+	return seq
+}
+
+// Valid reports whether s consists solely of A, C, G, N, T, i.e. whether
+// Pack would succeed.
+func Valid(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if encodeTable[s[i]] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Code returns the 3-bit code of b, or 0 when b is not a DNA symbol.
+func Code(b byte) byte { return encodeTable[b] }
+
+// PackedWords returns how many 64-bit words a packed sequence of n symbols
+// occupies. Arena builders use it to lay sequences out contiguously.
+func PackedWords(n int) int { return packedWords(n) }
+
+func packedWords(n int) int { return (n + symbolsPerWord - 1) / symbolsPerWord }
+
+// PackInto packs s into dst, which must hold PackedWords(len(s)) zeroed
+// words, mapping invalid bytes to code 0 like PackLossy. It reports whether
+// every byte was a valid DNA symbol. Arena builders use it to fill one
+// contiguous word slab instead of allocating per sequence.
+func PackInto(dst []uint64, s string) bool {
+	valid := true
+	for i := 0; i < len(s); i++ {
+		code := encodeTable[s[i]]
+		if code == 0 {
+			valid = false
+		}
+		dst[i/symbolsPerWord] |= uint64(code) << uint(3*(i%symbolsPerWord))
+	}
+	return valid
+}
+
+// View returns a Seq of n symbols backed by the given packed words without
+// copying. The words must have been produced by PackInto (or Pack) and any
+// bits beyond symbol n-1 must be zero, which word-aligned arena slots
+// guarantee.
+func View(words []uint64, n int) Seq { return Seq{words: words, n: n} }
 
 // Len returns the number of symbols.
 func (s Seq) Len() int { return s.n }
@@ -108,10 +169,34 @@ func Distance(a, b Seq) int {
 	return prev[b.n]
 }
 
+// Scratch holds the two dynamic-program rows reused across
+// BoundedDistanceScratch calls, so a scan over N sequences performs O(1)
+// allocations instead of 2N row allocations. A Scratch is not safe for
+// concurrent use; give each goroutine its own.
+type Scratch struct {
+	prev, curr []int
+}
+
+// rows returns the two DP rows grown to at least n entries.
+func (s *Scratch) rows(n int) ([]int, []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.curr = make([]int, n)
+	}
+	return s.prev[:n], s.curr[:n]
+}
+
 // BoundedDistance computes the distance if it is at most k, with the same
 // length filter, band and early-abort rules as edit.BoundedDistance, on
-// packed sequences.
+// packed sequences. It allocates fresh DP rows per call; scans should use
+// BoundedDistanceScratch.
 func BoundedDistance(a, b Seq, k int) (int, bool) {
+	var s Scratch
+	return BoundedDistanceScratch(a, b, k, &s)
+}
+
+// BoundedDistanceScratch is BoundedDistance with caller-owned row storage.
+func BoundedDistanceScratch(a, b Seq, k int, scratch *Scratch) (int, bool) {
 	if k < 0 {
 		return 0, false
 	}
@@ -144,8 +229,7 @@ func BoundedDistance(a, b Seq, k int) (int, bool) {
 	}
 	la, lb := a.n, b.n
 	const inf = int(^uint(0) >> 2)
-	prev := make([]int, lb+1)
-	curr := make([]int, lb+1)
+	prev, curr := scratch.rows(lb + 1)
 	for j := 0; j <= lb && j <= k; j++ {
 		prev[j] = j
 	}
@@ -258,15 +342,37 @@ type Match struct {
 	Dist int
 }
 
+// ctxStride is how many per-sequence comparisons may run between context
+// polls, mirroring internal/scan's cancellation stride.
+const ctxStride = 1024
+
 // Search scans the packed corpus for sequences within edit distance k of q.
 func (c *Corpus) Search(q string, k int) ([]Match, error) {
+	return c.SearchContext(context.Background(), q, k)
+}
+
+// SearchContext is Search honoring cancellation: it polls ctx every
+// ctxStride comparisons and returns ctx.Err() with the partial results
+// dropped. DP row storage is allocated once per call and reused across all
+// sequences, and the result slice is grown from a small preallocation
+// instead of nil-appending.
+func (c *Corpus) SearchContext(ctx context.Context, q string, k int) ([]Match, error) {
 	qs, err := Pack(q)
 	if err != nil {
 		return nil, err
 	}
-	var out []Match
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var scratch Scratch
+	out := make([]Match, 0, 16)
 	for i, s := range c.seqs {
-		if d, ok := BoundedDistance(qs, s, k); ok {
+		if i%ctxStride == ctxStride-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if d, ok := BoundedDistanceScratch(qs, s, k, &scratch); ok {
 			out = append(out, Match{ID: int32(i), Dist: d})
 		}
 	}

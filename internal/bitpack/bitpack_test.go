@@ -1,6 +1,7 @@
 package bitpack
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -154,6 +155,113 @@ func TestCorpus(t *testing.T) {
 	}
 	if _, err := NewCorpus([]string{"OK NO"}); err == nil {
 		t.Error("invalid corpus accepted")
+	}
+}
+
+func TestPackLossyAndValid(t *testing.T) {
+	if !Valid("ACGNT") || Valid("ACGX") || Valid("acgt") {
+		t.Error("Valid misclassifies")
+	}
+	// A lossy query with invalid bytes must yield exact byte-level distances
+	// against all-valid sequences: code 0 mismatches every candidate symbol.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomString(r, "ACGNTxyz@", 40)
+		x := randomDNA(r, 40)
+		if Distance(PackLossy(q), MustPack(x)) != edit.Distance(q, x) {
+			return false
+		}
+		k := r.Intn(6)
+		wd, wok := edit.BoundedDistance(q, x, k)
+		gd, gok := BoundedDistanceScratch(PackLossy(q), MustPack(x), k, &Scratch{})
+		return wok == gok && (!wok || wd == gd)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomString(r *rand.Rand, alpha string, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	return sb.String()
+}
+
+func TestPackIntoViewMatchesPack(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomDNA(r, 80)
+		words := make([]uint64, PackedWords(len(s)))
+		if !PackInto(words, s) {
+			t.Errorf("PackInto rejected valid DNA %q", s)
+			return false
+		}
+		v := View(words, len(s))
+		if v.String() != s {
+			t.Errorf("View round trip %q -> %q", s, v.String())
+			return false
+		}
+		other := randomDNA(r, 80)
+		return Distance(v, MustPack(other)) == edit.Distance(s, other)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	words := make([]uint64, PackedWords(4))
+	if PackInto(words, "ACGX") {
+		t.Error("PackInto reported valid on invalid input")
+	}
+	if View(words, 4).At(3) != 0 {
+		t.Error("invalid byte must pack to code 0")
+	}
+}
+
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	// One scratch across many pairs must give the same answers as fresh rows:
+	// stale row contents beyond the band must never leak into results.
+	var scratch Scratch
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 8; i++ {
+			a, b := randomDNA(r, 60), randomDNA(r, 60)
+			k := r.Intn(8)
+			wd, wok := BoundedDistance(MustPack(a), MustPack(b), k)
+			gd, gok := BoundedDistanceScratch(MustPack(a), MustPack(b), k, &scratch)
+			if wok != gok || (wok && wd != gd) {
+				t.Errorf("scratch reuse diverged on (%q,%q,k=%d)", a, b, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchContextCancellation(t *testing.T) {
+	data := make([]string, 2048)
+	for i := range data {
+		data[i] = strings.Repeat("ACGT", 8)
+	}
+	c, err := NewCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SearchContext(ctx, "ACGTACGT", 2); err == nil {
+		t.Error("pre-cancelled context must abort the scan")
+	}
+	ms, err := c.SearchContext(context.Background(), strings.Repeat("ACGT", 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(data) {
+		t.Errorf("got %d matches, want %d", len(ms), len(data))
 	}
 }
 

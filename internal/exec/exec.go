@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simsearch/internal/cascade"
 	"simsearch/internal/core"
 	"simsearch/internal/metrics"
 	"simsearch/internal/pool"
@@ -55,6 +56,17 @@ func ScanFactory(opts ...scan.Option) Factory {
 func BitParallelFactory() Factory {
 	return func(data []string) core.Searcher {
 		return core.NewSequential(data, scan.WithStrategy(scan.BitParallel))
+	}
+}
+
+// CascadeFactory builds filter-cascade shards (length bucket, frequency
+// vectors, q-gram counts, bounded Myers verify; 3-bit packed arena when the
+// shard is pure DNA). Shard engines stay serial like BitParallelFactory's —
+// the executor's shard fan-out already supplies the parallelism. Options
+// select ablation variants.
+func CascadeFactory(opts ...cascade.Option) Factory {
+	return func(data []string) core.Searcher {
+		return core.NewCascade(data, opts...)
 	}
 }
 

@@ -107,13 +107,62 @@ func (f *Frequency) Bound(vq, vx Vector) int {
 	return under
 }
 
-// Keep implements Filter.
+// Keep implements Filter. It delegates to a compiled query so the bound is
+// exercised through the same code path a scan uses; hot loops that test one
+// query against many candidates should call CompileQuery once instead, which
+// avoids rebuilding the query vector per candidate.
 func (f *Frequency) Keep(q, x string, k int) bool {
-	return f.Bound(f.VectorOf(q), f.VectorOf(x)) <= k
+	return f.CompileQuery(q).Keep(x, k)
+}
+
+// FrequencyQuery is the query-side compiled form of a Frequency filter: the
+// query's vector is computed once, and Keep then does O(len(x) + symbols)
+// work per candidate with no allocation. A FrequencyQuery is not safe for
+// concurrent use; compile one per goroutine.
+type FrequencyQuery struct {
+	f       *Frequency
+	vq      Vector
+	scratch Vector // candidate vector, zeroed after each Keep
+}
+
+// CompileQuery builds the query's frequency vector once and returns a keeper
+// over candidate strings.
+func (f *Frequency) CompileQuery(q string) *FrequencyQuery {
+	return &FrequencyQuery{f: f, vq: f.VectorOf(q), scratch: make(Vector, f.n)}
+}
+
+// Keep reports whether x may be within edit distance k of the compiled query.
+func (fq *FrequencyQuery) Keep(x string, k int) bool {
+	return fq.Bound(x) <= k
+}
+
+// Bound returns the frequency-vector lower bound on ed(q, x) for the
+// compiled query, reusing the internal scratch vector.
+func (fq *FrequencyQuery) Bound(x string) int {
+	vx := fq.scratch
+	for i := 0; i < len(x); i++ {
+		if idx := fq.f.symbols[x[i]]; idx != 0 {
+			vx[idx-1]++
+		}
+	}
+	b := fq.f.Bound(fq.vq, vx)
+	for i := range vx {
+		vx[i] = 0
+	}
+	return b
 }
 
 // Name implements Filter.
 func (f *Frequency) Name() string { return f.name }
+
+// NumSymbols returns the number of tracked symbols (the VectorOf length).
+func (f *Frequency) NumSymbols() int { return f.n }
+
+// Index returns the 0-based tracked index of symbol b, or -1 when b is
+// untracked. Engines that precompute per-string vectors into flat arrays
+// (internal/cascade) use it to count symbols without allocating a Vector per
+// string.
+func (f *Frequency) Index(b byte) int { return f.symbols[b] - 1 }
 
 // Symbols returns the tracked alphabet in tracking order. Rebuilding a
 // Frequency from Name() and Symbols() yields an equivalent filter, which
@@ -135,29 +184,63 @@ func (f *Frequency) Symbols() string {
 // strongest count-based filter and the most expensive to evaluate.
 type Histogram struct{}
 
-// Keep implements Filter.
-func (Histogram) Keep(q, x string, k int) bool {
-	var hq, hx [256]int
+// Keep implements Filter. It delegates to a compiled query; hot loops that
+// test one query against many candidates should call CompileQuery once
+// instead, which avoids rebuilding the query's 256-entry histogram (and
+// walking all 256 counters) per candidate.
+func (h Histogram) Keep(q, x string, k int) bool {
+	return h.CompileQuery(q).Keep(x, k)
+}
+
+// HistogramQuery is the query-side compiled form of the Histogram filter.
+// The query's histogram is built once; Keep then does O(len(x)) work per
+// candidate — it streams the candidate through the histogram counting
+// symbols common with the query, rather than materializing a second
+// histogram and diffing all 256 buckets. A HistogramQuery is not safe for
+// concurrent use; compile one per goroutine.
+type HistogramQuery struct {
+	hq   [256]int
+	hx   [256]int // candidate counts, restored to zero after each Keep
+	lenQ int
+}
+
+// CompileQuery builds the query's byte histogram once and returns a keeper
+// over candidate strings.
+func (Histogram) CompileQuery(q string) *HistogramQuery {
+	hq := &HistogramQuery{lenQ: len(q)}
 	for i := 0; i < len(q); i++ {
-		hq[q[i]]++
+		hq.hq[q[i]]++
 	}
+	return hq
+}
+
+// Keep reports whether x may be within edit distance k of the compiled query.
+func (hq *HistogramQuery) Keep(x string, k int) bool {
+	return hq.Bound(x) <= k
+}
+
+// Bound returns the histogram lower bound on ed(q, x): with
+// common = sum_c min(count_q(c), count_x(c)), the one-sided surpluses are
+// over = len(q) - common and under = len(x) - common, identical to the full
+// 256-bucket diff but touching only the candidate's bytes.
+func (hq *HistogramQuery) Bound(x string) int {
+	common := 0
 	for i := 0; i < len(x); i++ {
-		hx[x[i]]++
-	}
-	var over, under int
-	for c := 0; c < 256; c++ {
-		d := hq[c] - hx[c]
-		if d > 0 {
-			over += d
-		} else {
-			under -= d
+		c := x[i]
+		hq.hx[c]++
+		if hq.hx[c] <= hq.hq[c] {
+			common++
 		}
 	}
-	m := over
-	if under > m {
-		m = under
+	for i := 0; i < len(x); i++ {
+		hq.hx[x[i]] = 0
 	}
-	return m <= k
+	over := hq.lenQ - common
+	under := len(x) - common
+	if over > under {
+		return over
+	}
+	return under
 }
 
 // Name implements Filter.
@@ -194,13 +277,20 @@ func (c Chain) Name() string {
 // QGramCountBound returns the minimum number of q-grams two strings must
 // share to possibly be within edit distance k: a string of length l has
 // l-q+1 q-grams and one edit destroys at most q of them, so matches need at
-// least max(len(a), len(b)) - q + 1 - k*q common q-grams. A non-positive
-// bound means the count filter cannot prune. Used by the q-gram baseline
-// (internal/ngram).
+// least max(len(a), len(b)) - q + 1 - k*q common q-grams. The result is
+// clamped at zero: a zero bound means the count filter cannot prune (every
+// candidate trivially shares at least zero q-grams), which is the honest
+// answer both when k is large and when a string is shorter than q and has no
+// q-grams at all. Callers treat bound <= 0 as pass-through. Used by the
+// q-gram baseline (internal/ngram) and cascade stage 2 (internal/cascade).
 func QGramCountBound(lenA, lenB, q, k int) int {
 	l := lenA
 	if lenB > l {
 		l = lenB
 	}
-	return l - q + 1 - k*q
+	b := l - q + 1 - k*q
+	if b < 0 {
+		return 0
+	}
+	return b
 }

@@ -112,6 +112,115 @@ func TestQGramCountBound(t *testing.T) {
 	}
 }
 
+func TestQGramCountBoundClamped(t *testing.T) {
+	cases := []struct {
+		lenA, lenB, q, k int
+		want             int
+	}{
+		// Both strings shorter than q: no q-grams exist, raw formula would
+		// go negative; clamped to 0 = cannot prune.
+		{1, 1, 3, 0, 0},
+		{2, 2, 3, 1, 0},
+		{0, 0, 2, 0, 0},
+		// Empty vs non-empty, still shorter than q.
+		{0, 1, 2, 0, 0},
+		// Large k destroys more grams than exist.
+		{5, 5, 2, 10, 0},
+		// Exactly at the boundary: len == q gives one gram at k=0.
+		{3, 3, 3, 0, 1},
+		// One edit at len == q destroys the only gram: clamp to 0.
+		{3, 3, 3, 1, 0},
+	}
+	for _, c := range cases {
+		if got := QGramCountBound(c.lenA, c.lenB, c.q, c.k); got != c.want {
+			t.Errorf("QGramCountBound(%d,%d,%d,%d) = %d, want %d",
+				c.lenA, c.lenB, c.q, c.k, got, c.want)
+		}
+		if got := QGramCountBound(c.lenA, c.lenB, c.q, c.k); got < 0 {
+			t.Errorf("QGramCountBound(%d,%d,%d,%d) = %d, negative bound escaped the clamp",
+				c.lenA, c.lenB, c.q, c.k, got)
+		}
+	}
+}
+
+// Compiled query-side forms must agree exactly with the one-shot Keep, and
+// the internal scratch state must be cleanly restored between candidates
+// (exercised by reusing one compiled query across many candidates).
+func TestCompiledQueryFormsMatchKeep(t *testing.T) {
+	freq := DNAFrequency()
+	hist := Histogram{}
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomString(r, "ACGNTaeiou", 20)
+		fq := freq.CompileQuery(q)
+		hq := hist.CompileQuery(q)
+		for i := 0; i < 8; i++ {
+			x := randomString(r, "ACGNTaeiou", 20)
+			k := r.Intn(6)
+			if fq.Keep(x, k) != freq.Keep(q, x, k) {
+				t.Errorf("FrequencyQuery.Keep(%q,%q,%d) diverges from Keep", q, x, k)
+				return false
+			}
+			if hq.Keep(x, k) != hist.Keep(q, x, k) {
+				t.Errorf("HistogramQuery.Keep(%q,%q,%d) diverges from Keep", q, x, k)
+				return false
+			}
+			if b := hq.Bound(x); b > edit.Distance(q, x) {
+				t.Errorf("HistogramQuery.Bound(%q,%q) = %d exceeds true distance %d",
+					q, x, b, edit.Distance(q, x))
+				return false
+			}
+			if b := fq.Bound(x); b > edit.Distance(q, x) {
+				t.Errorf("FrequencyQuery.Bound(%q,%q) = %d exceeds true distance %d",
+					q, x, b, edit.Distance(q, x))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQueryBoundMatchesFullDiff(t *testing.T) {
+	// The streaming common-count form must equal the original 256-bucket
+	// one-sided surplus computation on hand-picked shapes.
+	cases := []struct{ q, x string }{
+		{"aaaa", "bbbb"},
+		{"abc", "cba"},
+		{"", "xyz"},
+		{"xyz", ""},
+		{"aab", "abb"},
+		{"Berlin", "Bern"},
+	}
+	for _, c := range cases {
+		var hqv, hxv [256]int
+		for i := 0; i < len(c.q); i++ {
+			hqv[c.q[i]]++
+		}
+		for i := 0; i < len(c.x); i++ {
+			hxv[c.x[i]]++
+		}
+		var over, under int
+		for b := 0; b < 256; b++ {
+			d := hqv[b] - hxv[b]
+			if d > 0 {
+				over += d
+			} else {
+				under -= d
+			}
+		}
+		want := over
+		if under > want {
+			want = under
+		}
+		if got := (Histogram{}).CompileQuery(c.q).Bound(c.x); got != want {
+			t.Errorf("Bound(%q,%q) = %d, want %d", c.q, c.x, got, want)
+		}
+	}
+}
+
 func randomString(r *rand.Rand, alphabet string, maxLen int) string {
 	n := r.Intn(maxLen + 1)
 	var sb strings.Builder

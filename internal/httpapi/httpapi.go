@@ -627,18 +627,37 @@ type ScanStatsJSON struct {
 	ArenaBuckets int    `json:"arena_buckets,omitempty"`
 }
 
+// CascadeStatsJSON is the filter-cascade section of the /stats payload: the
+// active backend layout plus the cumulative per-stage survivor funnel, which
+// makes the cascade's pruning observable (a stage whose survivors equal its
+// input has stopped pruning).
+type CascadeStatsJSON struct {
+	Packed     bool   `json:"packed"` // 3-bit DNA arena active
+	ArenaBytes int    `json:"arena_bytes"`
+	Buckets    int    `json:"buckets"`
+	Queries    uint64 `json:"queries"`
+	// The survivor funnel, in stage order; each stage's input is the
+	// previous stage's survivors. QGramSurvivors equals the verify-kernel
+	// invocations.
+	Candidates     uint64 `json:"candidates"`
+	FreqSurvivors  uint64 `json:"freq_survivors"`
+	QGramSurvivors uint64 `json:"qgram_survivors"`
+	Matches        uint64 `json:"matches"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
-	Engine  string           `json:"engine"`
-	Count   int              `json:"count"`
-	Symbols int              `json:"symbols"`
-	MinLen  int              `json:"min_len"`
-	AvgLen  float64          `json:"avg_len"`
-	MaxLen  int              `json:"max_len"`
-	Scan    *ScanStatsJSON   `json:"scan,omitempty"`
-	Cache   *CacheStatsJSON  `json:"cache,omitempty"`
-	Live    *LiveStatsJSON   `json:"live,omitempty"`
-	Shards  []ShardStatsJSON `json:"shards,omitempty"`
+	Engine  string            `json:"engine"`
+	Count   int               `json:"count"`
+	Symbols int               `json:"symbols"`
+	MinLen  int               `json:"min_len"`
+	AvgLen  float64           `json:"avg_len"`
+	MaxLen  int               `json:"max_len"`
+	Scan    *ScanStatsJSON    `json:"scan,omitempty"`
+	Cascade *CascadeStatsJSON `json:"cascade,omitempty"`
+	Cache   *CacheStatsJSON   `json:"cache,omitempty"`
+	Live    *LiveStatsJSON    `json:"live,omitempty"`
+	Shards  []ShardStatsJSON  `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -660,6 +679,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			sj.ArenaBuckets = as.Buckets
 		}
 		resp.Scan = sj
+	}
+	if cc, ok := engineAs[*core.Cascade](s.eng); ok {
+		st := cc.CascadeEngine().Stats()
+		resp.Cascade = &CascadeStatsJSON{
+			Packed: st.Packed, ArenaBytes: st.ArenaBytes, Buckets: st.Buckets,
+			Queries: st.Queries, Candidates: st.Candidates,
+			FreqSurvivors: st.FreqSurvivors, QGramSurvivors: st.QGramSurvivors,
+			Matches: st.Matches,
+		}
 	}
 	if c, ok := engineAs[*cache.Cache](s.eng); ok {
 		cs := c.Stats()

@@ -152,6 +152,56 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+func TestStatsCascadeSection(t *testing.T) {
+	dna := []string{"ACGT", "ACGA", "TTTT", "ACGTACGT", "GGGG"}
+	eng := core.NewCascade(dna)
+	srv := New(eng, dna)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var sr SearchResponse
+	getJSON(t, ts.URL+"/search?q=ACGT&k=1", &sr)
+	if len(sr.Matches) != 2 {
+		t.Fatalf("cascade search matches = %v", sr.Matches)
+	}
+
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	if resp.Cascade == nil {
+		t.Fatal("stats payload missing cascade section")
+	}
+	cs := resp.Cascade
+	if !cs.Packed || cs.Queries != 1 || cs.ArenaBytes <= 0 || cs.Buckets <= 0 {
+		t.Errorf("cascade stats = %+v", cs)
+	}
+	if cs.Candidates < cs.FreqSurvivors || cs.FreqSurvivors < cs.QGramSurvivors ||
+		cs.QGramSurvivors < cs.Matches || cs.Matches != 2 {
+		t.Errorf("cascade survivor funnel = %+v", cs)
+	}
+
+	// The per-stage survivors must also be scrapeable on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	if _, err := srv.Registry().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"simsearch_cascade_queries_total",
+		`simsearch_cascade_stage_survivors_total{stage="frequency"}`,
+		`simsearch_cascade_stage_survivors_total{stage="qgram"}`,
+		"simsearch_cascade_packed 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
 func TestHealthEndpoint(t *testing.T) {
 	ts := newTestServer()
 	defer ts.Close()

@@ -32,6 +32,32 @@ func (ar *Arena) Bytes() int { return ar.a.bytes() }
 // Buckets returns the number of distinct, non-empty length buckets.
 func (ar *Arena) Buckets() int { return ar.a.buckets() }
 
+// MaxLen returns the length of the longest packed string.
+func (ar *Arena) MaxLen() int { return ar.a.maxLen }
+
+// SlotRange returns the half-open slot window [lo, hi) holding strings with
+// length in [minLen, maxLen], clamped to the dataset's length range. It is
+// the paper's length filter as an O(1) bucket lookup; external engines (the
+// cascade's byte backend) iterate the window with SlotBytes/SlotID.
+func (ar *Arena) SlotRange(minLen, maxLen int) (int32, int32) {
+	return ar.a.slotRange(minLen, maxLen)
+}
+
+// SlotBytes returns the packed bytes of slot s without copying. The result
+// aliases the arena buffer and must not be mutated.
+func (ar *Arena) SlotBytes(s int32) []byte {
+	return ar.a.buf[ar.a.offs[s]:ar.a.offs[s+1]]
+}
+
+// SlotID returns the original dataset index of slot s.
+func (ar *Arena) SlotID(s int32) int32 { return ar.a.ids[s] }
+
+// MergeRuns sorts a match slice that is a concatenation of ID-ascending runs
+// (one per length bucket) by merging the runs bottom-up. It consumes the
+// input slice; see mergeRuns. External engines that sweep bucket windows in
+// slot order use it to restore global ID order without a full sort.
+func MergeRuns(ms []Match) []Match { return mergeRuns(ms) }
+
 // Search streams the length-window slots through the compiled pattern and
 // returns ID-sorted matches with slot-local IDs (indices into the NewArena
 // input). It polls cancel every ctxStride comparisons and reports ok=false

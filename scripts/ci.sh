@@ -28,15 +28,19 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade
 
 echo "== bench smoke =="
-# One iteration of every benchmark, so bench code cannot silently rot.
+# One iteration of every benchmark, so bench code cannot silently rot; the
+# cascade check fails if an enabled filter stage stops pruning on a tiny
+# DNA dataset or diverges from the DP oracle.
 go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
+go run ./cmd/paperbench -cascadecheck
 
 echo "== fuzz smoke =="
 go test -run=NONE -fuzz='^FuzzEnginesAgree$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzBitParallelIdentical$' -fuzztime=5s .
+go test -run=NONE -fuzz='^FuzzCascadeIdentical$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzDifferential$' -fuzztime=5s ./internal/exec
 go test -run=NONE -fuzz='^FuzzCachedIdentical$' -fuzztime=5s ./internal/cache
 go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit

@@ -75,6 +75,12 @@ const (
 	// (intra-query parallelism — the paper's parallel rungs only
 	// parallelize across queries). Results are identical to Scan.
 	BitParallel
+	// Cascade is the paper's §6 future-work list assembled into one engine:
+	// a filter cascade (length bucket → frequency vectors → q-gram counts →
+	// bounded Myers verify) with all query-side state compiled once per
+	// query, over a 3-bit packed arena when the dataset is pure DNA.
+	// Results are identical to Scan; only the pruning differs.
+	Cascade
 )
 
 // Options configures New. The zero value selects the best serial sequential
@@ -159,6 +165,10 @@ func newEngine(data []string, opts Options) Searcher {
 			sopts = append(sopts, scan.WithWorkers(opts.Workers))
 		}
 		return core.NewSequential(data, sopts...)
+	case Cascade:
+		// The cascade engine answers each query serially; parallelism comes
+		// from sharding (NewSharded) like the other serial engines.
+		return core.NewCascade(data)
 	default:
 		sopts := []scan.Option{scan.WithStrategy(scan.SimpleTypes)}
 		if opts.Workers > 1 {
@@ -202,6 +212,16 @@ func NewIndex(data []string) Searcher {
 // parallelism); workers <= 1 scans serially.
 func NewBitParallel(data []string, workers int) Searcher {
 	return New(data, Options{Algorithm: BitParallel, Workers: workers})
+}
+
+// NewCascade returns the filter-cascade engine: the paper's §6 future work
+// (frequency-vector filtering, q-gram counting, length bucketing, 3-bit DNA
+// packing) assembled into one serving path. On pure-DNA datasets the
+// candidate side is stored 3-bit packed, so each comparison that survives
+// the filters touches ~3/8 the memory of a byte scan. Results are identical
+// to NewScan on every dataset and query.
+func NewCascade(data []string) Searcher {
+	return New(data, Options{Algorithm: Cascade})
 }
 
 // SearchBatch answers all queries with eng. Engines with their own batch
