@@ -3,10 +3,11 @@ GO ?= go
 # Packages with nontrivial concurrency: the worker pools, the sharded
 # executor, the result cache and its coalescer, the HTTP server, the parallel
 # scan engine, the lock-free metrics primitives, the bench harness's
-# concurrent drivers, the trie (shared frontier rows under NearestK), and the
+# concurrent drivers, the trie (shared frontier rows under NearestK), the
 # LSM store (searches racing writes, flushes, and background compaction),
-# and the cascade (shared engine state under concurrent queries).
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade
+# the cascade (shared engine state under concurrent queries), and the
+# scatter-gather coordinator (hedged RPCs, breakers, admission control).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -52,14 +53,17 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lev
 	$(GO) test -run=NONE -fuzz='^FuzzReadNeverPanics$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/trie
 	$(GO) test -run=NONE -fuzz='^FuzzLiveIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/lsm
+	$(GO) test -run=NONE -fuzz='^FuzzCoordMerge$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/distrib
 
 # Micro-benchmarks (go test -bench) plus the bit-parallel ablation
-# (BENCH_4.json) and the cascade stage ablation over the DNA workload
-# (BENCH_7.json) for cross-PR perf tracking.
+# (BENCH_4.json), the cascade stage ablation over the DNA workload
+# (BENCH_7.json), and the distributed serving sweep (BENCH_8.json) for
+# cross-PR perf tracking.
 bench:
 	$(GO) test -bench . -benchmem -run=NONE .
 	$(GO) run ./cmd/paperbench -workload city -bitparallel -json BENCH_4.json
 	$(GO) run ./cmd/paperbench -workload dna -cascade -json BENCH_7.json
+	$(GO) run ./cmd/paperbench -distrib -json BENCH_8.json
 
 # One iteration of every benchmark; part of CI so bench code cannot rot.
 # The cascade smoke additionally fails if any enabled filter stage stops

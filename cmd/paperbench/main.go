@@ -13,7 +13,8 @@
 //	paperbench -bitparallel    # + the bit-parallel scan ablation (Table XV)
 //	paperbench -cascade        # + the filter-cascade ablation (Table XVI)
 //	paperbench -cascadecheck   # CI gate: cascade correctness + per-stage pruning on tiny datasets
-//	paperbench -json OUT.json  # + machine-readable records (implies -bitparallel unless -cascade)
+//	paperbench -distrib        # distributed serving sweep: local shard fleet, hedging on/off, slow-shard fault
+//	paperbench -json OUT.json  # + machine-readable records (implies -bitparallel unless -cascade/-distrib)
 //
 // Per §5.2, only the result-calculation time is reported; dataset generation
 // and index construction are excluded from every cell. Cells whose direct
@@ -52,6 +53,9 @@ func main() {
 		cacheN   = flag.Int("cachequeries", 2000, "stream length for the -cache replay")
 		cacheSz  = flag.Int("cachesize", 512, "cache capacity for the -cache replay")
 		cacheS   = flag.Float64("cacheskew", 1.4, "Zipf exponent for the -cache replay (larger = more head-heavy)")
+		distribF = flag.Bool("distrib", false, "run only the distributed serving sweep: a local shard fleet behind the scatter-gather coordinator, hedging on/off, one-slow-shard fault injection")
+		dRate    = flag.Float64("distribrate", 0, "offered open-loop load in qps for -distrib (default 300)")
+		dDur     = flag.Duration("distribdur", 0, "measured window per -distrib cell (default 2s)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("cascade check ok: results identical to the DP scan and every filter stage pruned, on both alphabets")
+		return
+	}
+
+	if *distribF {
+		// Standalone like -cascadecheck: the serving sweep builds its own
+		// dataset, so the paper workloads are never constructed.
+		dcfg := bench.DefaultDistribConfig()
+		if *dRate > 0 {
+			dcfg.Rate = *dRate
+		}
+		if *dDur > 0 {
+			dcfg.Duration = *dDur
+		}
+		fmt.Println("distributed serving sweep (open-loop Zipf load through the coordinator):")
+		cells, err := bench.DistribSweep(os.Stdout, dcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: distrib sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		bench.DistribReport(os.Stdout, dcfg, cells)
+		if *jsonPath != "" {
+			report := bench.NewReport(1)
+			report.Strings = dcfg.Strings
+			report.Add(bench.DistribRecords(dcfg, cells)...)
+			if err := report.WriteFile(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d)\n", len(report.Records), *jsonPath, report.GOMAXPROCS)
+		}
 		return
 	}
 

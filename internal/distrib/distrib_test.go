@@ -1,0 +1,568 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+	"simsearch/internal/exec"
+	"simsearch/internal/httpapi"
+)
+
+// fleet is a set of in-process shard servers over contiguous partitions of
+// one dataset, plus a coordinator in front of them.
+type fleet struct {
+	data    []string
+	servers []*httptest.Server
+	coord   *Coordinator
+	ts      *httptest.Server
+}
+
+// startFleet stands up p shard servers over Partition(len(data), p) — each an
+// httpapi.Server over the default executor factory's engine — and a
+// discovered coordinator. wrap, when non-nil, decorates shard i replica 0's
+// handler (fault injection); extraReplica lists shard indices that get a
+// second, undecorated replica.
+func startFleet(t *testing.T, data []string, p int, opts Options,
+	wrap func(shard, rep int, h http.Handler) http.Handler, extraReplica ...int) *fleet {
+	t.Helper()
+	f := &fleet{data: data}
+	specs := make([]ShardSpec, 0, p)
+	second := map[int]bool{}
+	for _, i := range extraReplica {
+		second[i] = true
+	}
+	for i, r := range Partition(len(data), p) {
+		part := data[r[0]:r[1]]
+		mkRep := func(rep int) *httptest.Server {
+			var h http.Handler = httpapi.New(exec.DefaultFactory(part), part)
+			if wrap != nil {
+				h = wrap(i, rep, h)
+			}
+			return httptest.NewServer(h)
+		}
+		ts := mkRep(0)
+		f.servers = append(f.servers, ts)
+		spec := ShardSpec{Replicas: []string{ts.URL}}
+		if second[i] {
+			ts2 := mkRep(1)
+			f.servers = append(f.servers, ts2)
+			spec.Replicas = append(spec.Replicas, ts2.URL)
+		}
+		specs = append(specs, spec)
+	}
+	coord, err := New(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := coord.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f.coord = coord
+	f.ts = httptest.NewServer(coord)
+	t.Cleanup(f.close)
+	return f
+}
+
+func (f *fleet) close() {
+	f.ts.Close()
+	for _, s := range f.servers {
+		s.Close()
+	}
+}
+
+func postBatch(t *testing.T, url, body string) (*http.Response, httpapi.BatchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/search/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br httpapi.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, br
+}
+
+// batchBody renders the canonical batch request for a set of queries.
+func batchBody(t *testing.T, qs []core.Query) string {
+	t.Helper()
+	req := httpapi.BatchRequest{Queries: make([]httpapi.BatchQuery, len(qs))}
+	for i, q := range qs {
+		k := q.K
+		req.Queries[i] = httpapi.BatchQuery{Q: q.Text, K: &k}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// testQueries builds a deterministic near-match workload over data.
+func testQueries(data []string, n int) []core.Query {
+	texts := dataset.Queries(data, n, 2, 42)
+	qs := make([]core.Query, n)
+	for i, s := range texts {
+		qs[i] = core.Query{Text: s, K: i % 4}
+	}
+	return qs
+}
+
+// TestDifferentialByteIdentical is the load-bearing contract test: the
+// coordinator's /search/batch results must be byte-identical to a single
+// httpapi server over a single-process exec.Sharded with the same partition
+// layout — for several shard counts, including p=1.
+func TestDifferentialByteIdentical(t *testing.T) {
+	data := dataset.Cities(150, 7)
+	qs := testQueries(data, 40)
+	body := batchBody(t, qs)
+
+	for _, p := range []int{1, 2, 3, 5} {
+		f := startFleet(t, data, p, Options{}, nil)
+
+		single := httptest.NewServer(httpapi.New(exec.New(data, exec.Options{Shards: p}), data))
+		rd, dr := postBatch(t, f.ts.URL, body)
+		rs, sr := postBatch(t, single.URL, body)
+		single.Close()
+		if rd.StatusCode != http.StatusOK || rs.StatusCode != http.StatusOK {
+			t.Fatalf("p=%d: status distrib=%d single=%d", p, rd.StatusCode, rs.StatusCode)
+		}
+		// Compare the Results payloads byte for byte (TookµS legitimately
+		// differs between the two runs).
+		db, _ := json.Marshal(dr.Results)
+		sb, _ := json.Marshal(sr.Results)
+		if string(db) != string(sb) {
+			t.Errorf("p=%d: coordinator results diverge from single-process run:\n distrib: %s\n single:  %s",
+				p, db, sb)
+		}
+	}
+}
+
+// dyingHandler kills the TCP connection of every batch RPC it receives —
+// the mid-batch shard-death fault. Health probes and /stats pass through so
+// discovery works and only query traffic dies.
+type dyingHandler struct {
+	inner  http.Handler
+	deaths atomic.Int32
+}
+
+func (d *dyingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/search/batch" {
+		d.deaths.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server writer is not a Hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// TestDifferentialMidBatchShardDeath proves the byte-identical contract
+// survives a replica dying mid-batch: one of shard 1's replicas drops the TCP
+// connection of every batch RPC it receives, the coordinator fails over to
+// the healthy replica, and results stay identical to the single-process run.
+func TestDifferentialMidBatchShardDeath(t *testing.T) {
+	data := dataset.Cities(120, 11)
+	qs := testQueries(data, 30)
+	body := batchBody(t, qs)
+	const p = 3
+
+	dying := &dyingHandler{}
+	f := startFleet(t, data, p, Options{},
+		func(shard, rep int, h http.Handler) http.Handler {
+			if shard == 1 && rep == 0 {
+				dying.inner = h
+				return dying
+			}
+			return h
+		}, 1)
+
+	single := httptest.NewServer(httpapi.New(exec.New(data, exec.Options{Shards: p}), data))
+	defer single.Close()
+	_, sr := postBatch(t, single.URL, body)
+	want, _ := json.Marshal(sr.Results)
+
+	// Round-robin routes shard 1's batches across both replicas, so some
+	// rounds hit the dying replica mid-batch and must fail over.
+	for round := 1; round <= 4; round++ {
+		rd, dr := postBatch(t, f.ts.URL, body)
+		if rd.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d", round, rd.StatusCode)
+		}
+		got, _ := json.Marshal(dr.Results)
+		if string(got) != string(want) {
+			t.Errorf("round %d: results diverge after shard death:\n got:  %s\n want: %s", round, got, want)
+		}
+	}
+
+	// The dead replica's failures must be on the books.
+	var st StatsResponse
+	resp, err := http.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if d := dying.deaths.Load(); d == 0 {
+		t.Fatal("fault injection never fired: no batch RPC reached the dying replica")
+	}
+	if st.Shards[1].Errors == 0 {
+		t.Error("shard 1 reported no RPC errors despite the injected death")
+	}
+}
+
+// TestErrorLadder mirrors the shard servers' ladder on the coordinator's own
+// endpoints: 405, 400, 413 — the statuses a request earns before any shard
+// is contacted. (503 shedding and 504 deadlines have dedicated tests below.)
+func TestErrorLadder(t *testing.T) {
+	data := dataset.Cities(40, 3)
+	f := startFleet(t, data, 2, Options{MaxBatch: 2, MaxBody: 256, MaxQueryLen: 16}, nil)
+
+	long := strings.Repeat("x", 17)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		code   int
+	}{
+		{"batch method", http.MethodGet, "/search/batch", "", http.StatusMethodNotAllowed},
+		{"search method", http.MethodPost, "/search?q=x", "", http.StatusMethodNotAllowed},
+		{"stats method", http.MethodPost, "/stats", "", http.StatusMethodNotAllowed},
+		{"healthz method", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{"metrics method", http.MethodPost, "/metrics", "", http.StatusMethodNotAllowed},
+		{"search no q", http.MethodGet, "/search", "", http.StatusBadRequest},
+		{"search bad k", http.MethodGet, "/search?q=x&k=abc", "", http.StatusBadRequest},
+		{"search negative k", http.MethodGet, "/search?q=x&k=-1", "", http.StatusBadRequest},
+		{"search k over max", http.MethodGet, "/search?q=x&k=99", "", http.StatusBadRequest},
+		{"search q too long", http.MethodGet, "/search?q=" + long, "", http.StatusBadRequest},
+		{"batch bad json", http.MethodPost, "/search/batch", "not json", http.StatusBadRequest},
+		{"batch empty", http.MethodPost, "/search/batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"batch empty q", http.MethodPost, "/search/batch", `{"queries":[{"q":""}]}`, http.StatusBadRequest},
+		{"batch bad k", http.MethodPost, "/search/batch", `{"queries":[{"q":"x","k":-1}]}`, http.StatusBadRequest},
+		{"batch k over max", http.MethodPost, "/search/batch", `{"queries":[{"q":"x","k":99}]}`, http.StatusBadRequest},
+		{"batch too many", http.MethodPost, "/search/batch",
+			`{"queries":[{"q":"a"},{"q":"b"},{"q":"c"}]}`, http.StatusRequestEntityTooLarge},
+		{"body too big", http.MethodPost, "/search/batch",
+			`{"queries":[{"q":"` + strings.Repeat("ab", 200) + `"}]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, f.ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e httpapi.ErrorResponse
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+			continue
+		}
+		if err != nil || e.Error == "" {
+			t.Errorf("%s: missing error payload (%v)", tc.name, err)
+		}
+	}
+}
+
+// blockUntilCancel answers /search/batch only after the request context dies,
+// simulating an arbitrarily slow shard without a test sleep. The body must be
+// drained first: net/http only watches for client disconnects once the
+// request body hits EOF, so blocking with an unread body would never see the
+// coordinator hang up.
+func blockUntilCancel(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search/batch" {
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TestDeadline504 completes the ladder: a scatter that outlives the
+// coordinator's Timeout answers 504, on /search/batch and /search alike.
+func TestDeadline504(t *testing.T) {
+	data := dataset.Cities(20, 5)
+	f := startFleet(t, data, 2, Options{Timeout: 30 * time.Millisecond},
+		func(shard, rep int, h http.Handler) http.Handler { return blockUntilCancel(h) })
+
+	resp, br := postBatch(t, f.ts.URL, `{"queries":[{"q":"x"}]}`)
+	_ = br
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("batch deadline: status %d, want 504", resp.StatusCode)
+	}
+	r2, err := http.Get(f.ts.URL + "/search?q=x&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("search deadline: status %d, want 504", r2.StatusCode)
+	}
+}
+
+// TestAdmissionControl503 completes the ladder's shedding rung: with
+// MaxInFlight=1 and one admitted request parked on a blocking shard, the next
+// request is shed with 503 and a Retry-After header, and the shed counter
+// moves.
+func TestAdmissionControl503(t *testing.T) {
+	data := dataset.Cities(20, 9)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var gate atomic.Int32
+	f := startFleet(t, data, 1, Options{MaxInFlight: 1},
+		func(shard, rep int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/search/batch" && gate.Add(1) == 1 {
+					entered <- struct{}{}
+					<-release
+				}
+				h.ServeHTTP(w, r)
+			})
+		})
+	defer close(release)
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(f.ts.URL+"/search/batch", "application/json",
+			strings.NewReader(`{"queries":[{"q":"x"}]}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-entered // the first request is admitted and parked inside the shard RPC
+
+	resp, err := http.Post(f.ts.URL+"/search/batch", "application/json",
+		strings.NewReader(`{"queries":[{"q":"y"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e httpapi.ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carried no Retry-After header")
+	}
+
+	release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("admitted request failed: %v", err)
+	}
+
+	var st StatsResponse
+	r2, err := http.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	json.NewDecoder(r2.Body).Decode(&st)
+	if st.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Shed)
+	}
+}
+
+// TestHedgingRescuesStuckReplica: the first batch RPC a shard replica
+// receives blocks until cancelled; the hedge timer must fire, the hedge
+// attempt (on the second replica) must answer, and the request succeeds with
+// the hedge counters on the books — no sleeps, the block is context-driven.
+func TestHedgingRescuesStuckReplica(t *testing.T) {
+	data := dataset.Cities(60, 13)
+	var gate atomic.Int32 // shared across replicas: whichever is primary gets stuck
+	f := startFleet(t, data, 1,
+		Options{HedgeQuantile: 0.95, HedgeMin: 5 * time.Millisecond},
+		func(shard, rep int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/search/batch" && gate.Add(1) == 1 {
+					// Drain the body so the server notices the hang-up, then
+					// stay stuck until the coordinator cancels the loser.
+					io.Copy(io.Discard, r.Body)
+					<-r.Context().Done()
+					return
+				}
+				h.ServeHTTP(w, r)
+			})
+		}, 0)
+
+	resp, br := postBatch(t, f.ts.URL, `{"queries":[{"q":"`+data[0]+`","k":0}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(br.Results) != 1 || br.Results[0].Error != "" || len(br.Results[0].Matches) == 0 {
+		t.Fatalf("hedged result = %+v", br.Results)
+	}
+
+	var st StatsResponse
+	r2, err := http.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	json.NewDecoder(r2.Body).Decode(&st)
+	sh := st.Shards[0]
+	if sh.Hedges == 0 || sh.HedgeWins == 0 {
+		t.Errorf("hedge counters = %+v, want hedge launched and won", sh)
+	}
+}
+
+// TestProberMarksDeadReplicaDown: a replica failing /healthz goes
+// breaker-open after one probe sweep, /stats reports it down, the
+// coordinator's own /healthz stays green (the shard still has a live
+// replica), and traffic keeps flowing.
+func TestProberMarksDeadReplicaDown(t *testing.T) {
+	data := dataset.Cities(40, 17)
+	var sick atomic.Bool
+	sick.Store(true)
+	f := startFleet(t, data, 1, Options{BreakerCooldown: time.Hour},
+		func(shard, rep int, h http.Handler) http.Handler {
+			if rep != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/healthz" && sick.Load() {
+					http.Error(w, "sick", http.StatusInternalServerError)
+					return
+				}
+				h.ServeHTTP(w, r)
+			})
+		}, 0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f.coord.ProbeOnce(ctx)
+
+	var st StatsResponse
+	r, err := http.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(r.Body).Decode(&st)
+	r.Body.Close()
+	reps := st.Shards[0].Replicas
+	if len(reps) != 2 || reps[0].Up || !reps[1].Up {
+		t.Fatalf("replica health after probe = %+v, want [down, up]", reps)
+	}
+
+	// Coordinator health: still one routable replica per shard → 200.
+	hr, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("coordinator /healthz = %d with a live replica remaining", hr.StatusCode)
+	}
+
+	// Queries keep flowing around the dead replica.
+	resp, br := postBatch(t, f.ts.URL, `{"queries":[{"q":"`+data[1]+`","k":0}]}`)
+	if resp.StatusCode != http.StatusOK || br.Results[0].Error != "" {
+		t.Fatalf("query after probe-down failed: %d %+v", resp.StatusCode, br.Results)
+	}
+
+	// Recovery: the replica heals, the next sweep closes the breaker.
+	sick.Store(false)
+	f.coord.ProbeOnce(ctx)
+	r2, err := http.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	json.NewDecoder(r2.Body).Decode(&st)
+	if reps := st.Shards[0].Replicas; !reps[0].Up {
+		t.Errorf("replica not marked up after healing probe: %+v", reps)
+	}
+}
+
+// TestCoordinatorMetricsExposed asserts the simsearch_coord_* families are
+// scrapeable after traffic.
+func TestCoordinatorMetricsExposed(t *testing.T) {
+	data := dataset.Cities(30, 21)
+	f := startFleet(t, data, 2, Options{}, nil)
+	postBatch(t, f.ts.URL, `{"queries":[{"q":"`+data[0]+`","k":1}]}`)
+
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := f.coord.Registry().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`simsearch_coord_requests_total{endpoint="batch"} 1`,
+		`simsearch_coord_shard_rpcs_total{shard="0"} 1`,
+		`simsearch_coord_shard_rpcs_total{shard="1"} 1`,
+		"simsearch_coord_shard_rpc_seconds_count",
+		"simsearch_coord_inflight_requests 0",
+		"simsearch_coord_shed_total 0",
+		`simsearch_coord_replica_up{replica="0",shard="0"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestSearchEndpoint exercises the coordinator's single-query surface.
+func TestSearchEndpoint(t *testing.T) {
+	data := dataset.Cities(80, 23)
+	f := startFleet(t, data, 3, Options{}, nil)
+
+	single := httptest.NewServer(httpapi.New(exec.New(data, exec.Options{Shards: 3}), data))
+	defer single.Close()
+
+	for _, q := range []string{data[0], data[len(data)-1], "zzzzz"} {
+		var dr, sr httpapi.SearchResponse
+		for _, tgt := range []struct {
+			url string
+			out *httpapi.SearchResponse
+		}{{f.ts.URL, &dr}, {single.URL, &sr}} {
+			resp, err := http.Get(tgt.url + "/search?k=2&q=" + url.QueryEscape(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(tgt.out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		db, _ := json.Marshal(dr.Matches)
+		sb, _ := json.Marshal(sr.Matches)
+		if string(db) != string(sb) {
+			t.Errorf("q=%s: coordinator /search diverges: %s vs %s", q, db, sb)
+		}
+	}
+}

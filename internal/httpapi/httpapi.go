@@ -66,6 +66,11 @@ type Server struct {
 	mux      *http.ServeMux
 	reg      *metrics.Registry
 	inflight *metrics.Gauge
+	// info is the dataset summary served by /stats, computed once at wiring
+	// time: dataset.Stats is a full pass over every corpus byte, far too
+	// expensive to rerun on every scrape. Live engines override the count
+	// from their own LiveStats, so the frozen summary stays correct.
+	info dataset.Info
 	// live is the write surface, discovered from the engine chain at wiring
 	// time; nil for frozen engines (writes then get 501).
 	live liveMutator
@@ -114,7 +119,8 @@ func New(eng core.Searcher, data []string) *Server {
 		eng: eng, data: data, mux: http.NewServeMux(),
 		MaxK: 16, MaxTopK: 100, MaxBatch: 1024,
 		MaxQueryLen: 1024, MaxBody: 1 << 20,
-		reg: metrics.NewRegistry(),
+		reg:  metrics.NewRegistry(),
+		info: dataset.Stats(data),
 	}
 	s.inflight = s.reg.Gauge("simsearch_http_inflight_requests",
 		"Requests currently being served.")
@@ -184,12 +190,29 @@ func (s *Server) EnablePprof() {
 // statusWriter records the response code for the instrumentation wrapper.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true // an implicit 200 counts as written
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush passes flushes through to the wrapped writer. Embedding only carries
+// the http.ResponseWriter method set, so without this the wrapper silently
+// dropped http.Flusher for every handler — streaming responses such as
+// /metrics scrapes and the gated pprof trace endpoint buffered instead.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with per-endpoint observability: request,
@@ -211,20 +234,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		s.inflight.Inc()
 		defer s.inflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		// Accounting runs in a defer so a panicking handler is still counted:
+		// before this, a panic skipped every counter and the histogram, making
+		// the failure mode invisible on /metrics. The panic is recovered into
+		// a 500 (when no header is out yet) and counted as 5xx.
+		defer func() {
+			if p := recover(); p != nil {
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					s.fail(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			took := time.Since(start)
+			reqs.Inc()
+			switch {
+			case sw.code >= 500:
+				errs5.Inc()
+			case sw.code >= 400:
+				errs4.Inc()
+			}
+			lat.Observe(took)
+			if s.Slow != nil {
+				k, _ := s.intParam(r, "k", -1)
+				s.Slow.Observe(endpoint, s.eng.Name(), -1, r.URL.Query().Get("q"), k, took)
+			}
+		}()
 		h(sw, r)
-		took := time.Since(start)
-		reqs.Inc()
-		switch {
-		case sw.code >= 500:
-			errs5.Inc()
-		case sw.code >= 400:
-			errs4.Inc()
-		}
-		lat.Observe(took)
-		if s.Slow != nil {
-			k, _ := s.intParam(r, "k", -1)
-			s.Slow.Observe(endpoint, s.eng.Name(), -1, r.URL.Query().Get("q"), k, took)
-		}
 	})
 }
 
@@ -665,7 +700,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	info := dataset.Stats(s.data)
+	info := s.info
 	resp := StatsResponse{
 		Engine: s.eng.Name(), Count: info.Count, Symbols: info.Symbols,
 		MinLen: info.MinLen, AvgLen: info.AvgLen, MaxLen: info.MaxLen,

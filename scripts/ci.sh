@@ -28,7 +28,7 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib
 
 echo "== bench smoke =="
 # One iteration of every benchmark, so bench code cannot silently rot; the
@@ -48,5 +48,6 @@ go test -run=NONE -fuzz='^FuzzOpsRoundTrip$' -fuzztime=5s ./internal/edit
 go test -run=NONE -fuzz='^FuzzAutomatonAgreesWithDP$' -fuzztime=5s ./internal/lev
 go test -run=NONE -fuzz='^FuzzReadNeverPanics$' -fuzztime=5s ./internal/trie
 go test -run=NONE -fuzz='^FuzzLiveIdentical$' -fuzztime=5s ./internal/lsm
+go test -run=NONE -fuzz='^FuzzCoordMerge$' -fuzztime=5s ./internal/distrib
 
 echo "CI green."
