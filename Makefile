@@ -5,9 +5,10 @@ GO ?= go
 # scan engine, the lock-free metrics primitives, the bench harness's
 # concurrent drivers, the trie (shared frontier rows under NearestK), the
 # LSM store (searches racing writes, flushes, and background compaction),
-# the cascade (shared engine state under concurrent queries), and the
-# scatter-gather coordinator (hedged RPCs, breakers, admission control).
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib
+# the cascade (shared engine state under concurrent queries), the
+# scatter-gather coordinator (hedged RPCs, breakers, admission control), and
+# the adaptive router (lock-free cost-model updates under concurrent search).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -46,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzEnginesAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzBitParallelIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzCascadeIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzRouterIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/exec
 	$(GO) test -run=NONE -fuzz='^FuzzCachedIdentical$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/cache
 	$(GO) test -run=NONE -fuzz='^FuzzKernelsAgree$$' -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/edit
@@ -57,13 +59,15 @@ fuzz-smoke:
 
 # Micro-benchmarks (go test -bench) plus the bit-parallel ablation
 # (BENCH_4.json), the cascade stage ablation over the DNA workload
-# (BENCH_7.json), and the distributed serving sweep (BENCH_8.json) for
-# cross-PR perf tracking.
+# (BENCH_7.json), the distributed serving sweep (BENCH_8.json), and the
+# adaptive-router mixed-workload comparison (BENCH_9.json) for cross-PR
+# perf tracking.
 bench:
 	$(GO) test -bench . -benchmem -run=NONE .
 	$(GO) run ./cmd/paperbench -workload city -bitparallel -json BENCH_4.json
 	$(GO) run ./cmd/paperbench -workload dna -cascade -json BENCH_7.json
 	$(GO) run ./cmd/paperbench -distrib -json BENCH_8.json
+	$(GO) run ./cmd/paperbench -router -json BENCH_9.json
 
 # One iteration of every benchmark; part of CI so bench code cannot rot.
 # The cascade smoke additionally fails if any enabled filter stage stops

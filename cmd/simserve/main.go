@@ -57,7 +57,7 @@ func main() {
 		dataPath = flag.String("data", "", "dataset file, one string per line")
 		gen      = flag.String("gen", "", "generate a synthetic dataset instead: city or dna")
 		n        = flag.Int("n", 40000, "synthetic dataset size")
-		engine   = flag.String("engine", "trie", "engine: scan, bitparallel, cascade, trie, bktree, qgram, suffixarray")
+		engine   = flag.String("engine", "trie", "engine: router, scan, bitparallel, cascade, trie, bktree, qgram, suffixarray, automaton, vptree")
 		workers  = flag.Int("workers", 0, "scan engine workers (unsharded) or executor pool workers (sharded)")
 		shards   = flag.Int("shards", 0, "partition the dataset across this many shards (0 = single engine)")
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -108,6 +108,12 @@ func main() {
 		opts.Algorithm = simsearch.QGram
 	case "suffixarray":
 		opts.Algorithm = simsearch.SuffixArray
+	case "automaton":
+		opts.Algorithm = simsearch.Automaton
+	case "vptree":
+		opts.Algorithm = simsearch.VPTree
+	case "router":
+		opts.Algorithm = simsearch.Router
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}

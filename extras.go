@@ -46,12 +46,18 @@ func Clusters(data []string, k int, workers int) [][]int32 {
 	return join.Clusters(data, k, join.Options{Algorithm: join.TrieJoin, Workers: workers})
 }
 
-// NewAuto picks an engine automatically from the dataset's statistics and
-// the threshold the caller expects to query with — the paper's conclusion
-// (scan for short strings, index for long ones) updated with this
-// reproduction's measurements. See internal/core.Auto for the rules.
+// NewAuto returns an engine that picks automatically — since PR 9 this is
+// the cost-model adaptive router (see NewRouter) rather than a build-time
+// choice. The old static planner's rules (internal/core.Auto: scan below the
+// build-amortization size, scan for permissive thresholds, modern trie
+// otherwise) survive as the router's cold-start prior, so before any
+// feedback the router behaves exactly like the old NewAuto; after that it
+// refines the choice per query from measured latencies. expectedK is no
+// longer needed to bind the engine up front — each query carries its own K —
+// but remains in the signature for compatibility and is ignored.
 func NewAuto(data []string, expectedK int) Searcher {
-	return core.Auto(data, expectedK)
+	_ = expectedK
+	return NewRouter(data)
 }
 
 // Dynamic is a mutable, concurrency-safe similarity index: Add and Remove

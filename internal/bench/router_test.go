@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildMixedWorkloadWellFormed(t *testing.T) {
+	w := BuildMixedWorkload(tinyConfig())
+	if len(w.Queries) == 0 || len(w.Queries) != len(w.Origins) {
+		t.Fatalf("queries=%d origins=%d", len(w.Queries), len(w.Origins))
+	}
+	// The stream is grouped into (origin, k) blocks: city k=0..3 then dna
+	// k=0..3, every block non-empty, so block-boundary detection in the
+	// sweep sees each regime exactly once.
+	seen := map[cellKey]int{}
+	var order []cellKey
+	for i, q := range w.Queries {
+		key := cellKey{w.Origins[i], q.K}
+		if seen[key] == 0 {
+			order = append(order, key)
+		}
+		seen[key]++
+	}
+	if len(order) != 8 {
+		t.Fatalf("regime blocks = %v, want 8", order)
+	}
+	for _, key := range order {
+		if key.k < 0 || key.k > 3 {
+			t.Errorf("unexpected k %d", key.k)
+		}
+		if key.origin != "city" && key.origin != "dna" {
+			t.Errorf("unexpected origin %q", key.origin)
+		}
+	}
+	// Contiguity: once a block ends its key never reappears.
+	last := cellKey{}
+	var finished []cellKey
+	for i, q := range w.Queries {
+		key := cellKey{w.Origins[i], q.K}
+		if key == last {
+			continue
+		}
+		for _, f := range finished {
+			if f == key {
+				t.Fatalf("block %v not contiguous", key)
+			}
+		}
+		if i > 0 {
+			finished = append(finished, last)
+		}
+		last = key
+	}
+}
+
+func TestRouterSweepSmoke(t *testing.T) {
+	run := RouterSweep(tinyConfig())
+	if len(run.Order) != 5 || run.Order[len(run.Order)-1] != "router" {
+		t.Fatalf("order = %v", run.Order)
+	}
+	keys := run.cellKeys()
+	if len(keys) != 8 {
+		t.Fatalf("cell keys = %v", keys)
+	}
+	for _, slug := range run.Order {
+		if run.Totals[slug] <= 0 {
+			t.Errorf("%s: non-positive total %v", slug, run.Totals[slug])
+		}
+		for _, key := range keys {
+			c := run.Cells[slug][key]
+			if c == nil || c.Queries <= 0 || c.Elapsed <= 0 {
+				t.Errorf("%s %v: bad cell %+v", slug, key, c)
+			}
+		}
+	}
+	if run.Router.Queries == 0 {
+		t.Error("router stats empty")
+	}
+	if tbl := run.TableXVII(); len(tbl.Rows) == 0 {
+		t.Error("empty Table XVII")
+	}
+	v := run.Verdict()
+	for _, want := range []string{"whole workload", "router", "worst per-regime ratio"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verdict missing %q:\n%s", want, v)
+		}
+	}
+	recs := run.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Experiment, "router-mixed") {
+			t.Errorf("record experiment %q", r.Experiment)
+		}
+	}
+}

@@ -6,6 +6,16 @@ import (
 	"simsearch/internal/trie"
 )
 
+// statsFn computes dataset statistics for Auto. A package variable so the
+// regression test can prove the small-dataset path never pays the full
+// corpus pass (see TestAutoSmallSkipsStats).
+var statsFn = dataset.Stats
+
+// BuildAmortization is the dataset size below which no index build pays for
+// itself: Auto (and the router's cold-start prior, which reuses the same
+// rules) keeps smaller datasets on the scan.
+const BuildAmortization = 4096
+
 // Auto picks an engine for the dataset and an expected threshold — the
 // paper's conclusion turned into an executable planner, updated with this
 // reproduction's own measurements (EXPERIMENTS.md):
@@ -21,17 +31,24 @@ import (
 //
 // expectedK <= 0 defaults to 2. The returned engine is always exact; the
 // choice only affects speed.
+//
+// The public facade's NewAuto no longer calls this directly — it builds the
+// adaptive router (internal/router), which starts from these rules as its
+// cold-start prior and then re-fits per query. Auto remains the static
+// reference planner.
 func Auto(data []string, expectedK int) Searcher {
 	if expectedK <= 0 {
 		expectedK = 2
 	}
-	info := dataset.Stats(data)
-	const buildAmortization = 4096
-	if info.Count < buildAmortization {
+	// The count decides the common small-dataset case by itself; computing
+	// full statistics first would pay an O(total bytes) corpus pass just to
+	// read back len(data).
+	if len(data) < BuildAmortization {
 		return NewSequential(data,
 			scan.WithStrategy(scan.SimpleTypes), scan.WithBandedKernel(),
 			scan.WithSortByLength())
 	}
+	info := statsFn(data)
 	// Very permissive thresholds relative to the string length defeat every
 	// index's pruning (nearly everything matches); scanning with the banded
 	// kernel and length sorting is then the robust choice.

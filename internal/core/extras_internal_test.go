@@ -37,6 +37,35 @@ func TestAutoChoosesByRegime(t *testing.T) {
 	}
 }
 
+// TestAutoSmallSkipsStats proves the small-dataset fast path decides on
+// len(data) alone: a full dataset.Stats corpus pass before the count check
+// was PR 9's satellite bug (the same shape as PR 8's /stats-per-scrape fix,
+// proven the same way — by making the expensive path impossible to take
+// silently).
+func TestAutoSmallSkipsStats(t *testing.T) {
+	orig := statsFn
+	defer func() { statsFn = orig }()
+	calls := 0
+	statsFn = func(data []string) dataset.Info {
+		calls++
+		return dataset.Stats(data)
+	}
+	small := dataset.Cities(BuildAmortization-1, 3)
+	if _, ok := Auto(small, 2).(*Sequential); !ok {
+		t.Fatalf("small dataset engine = %T, want *Sequential", Auto(small, 2))
+	}
+	if calls != 0 {
+		t.Errorf("Auto paid %d dataset.Stats passes for a sub-amortization dataset, want 0", calls)
+	}
+	big := dataset.Cities(BuildAmortization, 3)
+	if _, ok := Auto(big, 2).(*Trie); !ok {
+		t.Fatalf("large dataset engine = %T, want *Trie", Auto(big, 2))
+	}
+	if calls != 1 {
+		t.Errorf("Auto called dataset.Stats %d times for a large dataset, want 1", calls)
+	}
+}
+
 func TestTrieAccessorsAndPersistence(t *testing.T) {
 	tr := NewTrie(testData, true)
 	if tr.Tree() == nil || tr.Tree().Len() != len(testData) {

@@ -57,6 +57,7 @@ import (
 	"simsearch/internal/dataset"
 	"simsearch/internal/exec"
 	"simsearch/internal/metrics"
+	"simsearch/internal/router"
 )
 
 // Server wires an engine and its dataset into an http.Handler.
@@ -152,7 +153,39 @@ func New(eng core.Searcher, data []string) *Server {
 		}
 		e = u.Unwrap()
 	}
+	// Routers inside the sharded executor sit a layer deeper than the
+	// decorator walk reaches; register their summed counters so the sharded
+	// router path exports simsearch_router_* like the direct path does.
+	if rs := shardRouters(eng); len(rs) > 0 {
+		router.RegisterMetrics(s.reg, rs...)
+	}
 	return s
+}
+
+// shardRouters returns the router engines held by a sharded executor in the
+// decorator chain, if any (a directly served router registers its metrics
+// through the chain walk instead and is not returned here).
+func shardRouters(eng core.Searcher) []*router.Engine {
+	ex, ok := engineAs[*exec.Sharded](eng)
+	if !ok {
+		return nil
+	}
+	var out []*router.Engine
+	for _, se := range ex.ShardEngines() {
+		if r, ok := se.(*router.Engine); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// collectRouters gathers every router in the serving chain: a directly
+// served (possibly cached) router, or one per shard under the executor.
+func collectRouters(eng core.Searcher) []*router.Engine {
+	if r, ok := engineAs[*router.Engine](eng); ok {
+		return []*router.Engine{r}
+	}
+	return shardRouters(eng)
 }
 
 // engineAs walks the engine decorator chain (via Unwrap) looking for a layer
@@ -680,6 +713,39 @@ type CascadeStatsJSON struct {
 	Matches        uint64 `json:"matches"`
 }
 
+// RouterEngineJSON is one candidate engine's routing tally in the router
+// section.
+type RouterEngineJSON struct {
+	Name   string `json:"name"`
+	Routes uint64 `json:"routes"`
+	Built  bool   `json:"built"`
+}
+
+// RouterRegimeJSON is one regime cell of the router's cost model: which
+// engine the model currently prefers there and the per-engine feedback
+// behind that choice.
+type RouterRegimeJSON struct {
+	Regime    string             `json:"regime"`
+	Preferred string             `json:"preferred"`
+	Samples   map[string]uint64  `json:"samples"`
+	EwmaµS    map[string]float64 `json:"ewma_us"`
+	FloorµS   map[string]float64 `json:"floor_us"` // decayed minimum, the routing estimate
+}
+
+// RouterStatsJSON is the adaptive-router section of the /stats payload:
+// per-engine route counts, the explore arm's bounded cost, and the regime
+// table. On the sharded path the section aggregates every shard's router
+// (counters summed, regime EWMAs sample-weighted).
+type RouterStatsJSON struct {
+	Engines       []RouterEngineJSON `json:"engines"`
+	Queries       uint64             `json:"queries"`
+	Explores      uint64             `json:"explores"`
+	ExploreRatio  float64            `json:"explore_ratio"`
+	BusyµS        int64              `json:"busy_us"`
+	ExploreBusyµS int64              `json:"explore_busy_us"`
+	Regimes       []RouterRegimeJSON `json:"regimes,omitempty"`
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Engine  string            `json:"engine"`
@@ -690,6 +756,7 @@ type StatsResponse struct {
 	MaxLen  int               `json:"max_len"`
 	Scan    *ScanStatsJSON    `json:"scan,omitempty"`
 	Cascade *CascadeStatsJSON `json:"cascade,omitempty"`
+	Router  *RouterStatsJSON  `json:"router,omitempty"`
 	Cache   *CacheStatsJSON   `json:"cache,omitempty"`
 	Live    *LiveStatsJSON    `json:"live,omitempty"`
 	Shards  []ShardStatsJSON  `json:"shards,omitempty"`
@@ -723,6 +790,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FreqSurvivors: st.FreqSurvivors, QGramSurvivors: st.QGramSurvivors,
 			Matches: st.Matches,
 		}
+	}
+	if rs := collectRouters(s.eng); len(rs) > 0 {
+		sts := make([]router.Stats, len(rs))
+		for i, r := range rs {
+			sts[i] = r.Stats()
+		}
+		st := router.Merge(sts...)
+		rj := &RouterStatsJSON{
+			Queries: st.Queries, Explores: st.Explores,
+			ExploreRatio:  st.ExploreRatio,
+			BusyµS:        st.Busy.Microseconds(),
+			ExploreBusyµS: st.ExploreBusy.Microseconds(),
+		}
+		for _, es := range st.Engines {
+			rj.Engines = append(rj.Engines, RouterEngineJSON{
+				Name: es.Name, Routes: es.Routes, Built: es.Built,
+			})
+		}
+		for _, reg := range st.Regimes {
+			rj.Regimes = append(rj.Regimes, RouterRegimeJSON{
+				Regime: reg.Regime, Preferred: reg.Preferred,
+				Samples: reg.Samples, EwmaµS: reg.EwmaUS, FloorµS: reg.FloorUS,
+			})
+		}
+		resp.Router = rj
 	}
 	if c, ok := engineAs[*cache.Cache](s.eng); ok {
 		cs := c.Stats()

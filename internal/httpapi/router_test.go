@@ -1,0 +1,110 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"simsearch/internal/exec"
+	"simsearch/internal/router"
+)
+
+// warmRouter drives enough /search traffic through ts that the router has
+// routed and learned in at least one regime.
+func warmRouter(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for rep := 0; rep < 4; rep++ {
+		for k := 0; k <= 2; k++ {
+			resp, err := http.Get(fmt.Sprintf("%s/search?q=berlni&k=%d", ts.URL, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("search status %d", resp.StatusCode)
+			}
+		}
+	}
+}
+
+func checkRouterStats(t *testing.T, ts *httptest.Server, shards int) {
+	t.Helper()
+	warmRouter(t, ts)
+	var resp StatsResponse
+	getJSON(t, ts.URL+"/stats", &resp)
+	rj := resp.Router
+	if rj == nil {
+		t.Fatal("/stats has no router section")
+	}
+	if rj.Queries < 12 {
+		t.Errorf("router queries = %d, want >= 12", rj.Queries)
+	}
+	if len(rj.Engines) < 2 {
+		t.Fatalf("router engines = %v", rj.Engines)
+	}
+	var routes uint64
+	for _, es := range rj.Engines {
+		routes += es.Routes
+	}
+	if routes != rj.Queries {
+		t.Errorf("per-engine routes sum %d != queries %d", routes, rj.Queries)
+	}
+	if len(rj.Regimes) == 0 {
+		t.Fatal("no regime cells after warmup")
+	}
+	for _, reg := range rj.Regimes {
+		if reg.Preferred == "" {
+			t.Errorf("regime %q has no preferred engine", reg.Regime)
+		}
+		// The floor is the routing estimate; every sampled engine must
+		// expose one, and it can never sit above ewma by more than one
+		// decay step.
+		for name, n := range reg.Samples {
+			if n == 0 {
+				continue
+			}
+			floor, ok := reg.FloorµS[name]
+			if !ok || floor <= 0 {
+				t.Errorf("regime %q engine %q: missing floor_us (%v)",
+					reg.Regime, name, reg.FloorµS)
+			}
+			if ewma := reg.EwmaµS[name]; floor > ewma*1.06 {
+				t.Errorf("regime %q engine %q: floor %.1f above ewma %.1f",
+					reg.Regime, name, floor, ewma)
+			}
+		}
+	}
+	// The same counters must surface on /metrics under simsearch_router_*.
+	ms := scrape(t, ts.URL)
+	var mroutes float64
+	for key, v := range ms {
+		if len(key) >= len("simsearch_router_routes_total") &&
+			key[:len("simsearch_router_routes_total")] == "simsearch_router_routes_total" {
+			mroutes += v
+		}
+	}
+	if uint64(mroutes) != rj.Queries {
+		t.Errorf("metrics routes_total = %v, stats queries = %d", mroutes, rj.Queries)
+	}
+	if ms["simsearch_router_engines_built"] < 1 {
+		t.Error("no engines built per metrics")
+	}
+	if got, ok := ms["simsearch_router_regimes_active"]; !ok || got < 1 {
+		t.Errorf("regimes_active = %v, %v", got, ok)
+	}
+	_ = shards
+}
+
+func TestStatsAndMetricsRouterDirect(t *testing.T) {
+	ts := httptest.NewServer(New(router.New(data), data))
+	defer ts.Close()
+	checkRouterStats(t, ts, 1)
+}
+
+func TestStatsAndMetricsRouterSharded(t *testing.T) {
+	eng := exec.New(data, exec.Options{Shards: 2, Factory: exec.RouterFactory()})
+	ts := httptest.NewServer(New(eng, data))
+	defer ts.Close()
+	checkRouterStats(t, ts, 2)
+}

@@ -1,0 +1,394 @@
+package router
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"simsearch/internal/core"
+	"simsearch/internal/dataset"
+)
+
+// TestRegimeBuckets pins the regime index arithmetic to its labels: every
+// (len, k, sel) combination must round-trip through regime() to the bucket
+// triple the stats surface would print for it.
+func TestRegimeBuckets(t *testing.T) {
+	data := []string{"aaaa", "bbbbbbbb", "cccccccccccccccc"}
+	e := New(data)
+	cases := []struct {
+		q     core.Query
+		label string
+	}{
+		{core.Query{Text: "aaaa", K: 0}, "len<=4 k=0 sel<75%"},
+		{core.Query{Text: "aaaa", K: 1}, "len<=4 k=1 sel<75%"},
+		{core.Query{Text: "bbbbbbbb", K: 2}, "len<=8 k=2 sel<75%"},
+		{core.Query{Text: "cccccccccccccccc", K: 5}, "len<=16 k=4..8 sel<75%"},
+		{core.Query{Text: "cccccccccccccccc", K: 100}, "len<=16 k>8 sel>=75%"},
+	}
+	for _, c := range cases {
+		if got := regimeLabel(e.regime(c.q)); got != c.label {
+			t.Errorf("regime(%q, k=%d) = %q, want %q", c.q.Text, c.q.K, got, c.label)
+		}
+	}
+}
+
+// TestSelectivityWindow pins the O(1) prefix-count selectivity estimate
+// against a direct count.
+func TestSelectivityWindow(t *testing.T) {
+	data := []string{"a", "bb", "bb", "ccc", "dddd", "eeeee"}
+	e := New(data)
+	for _, c := range []struct {
+		lo, hi, want int
+	}{
+		{0, 10, 6}, {2, 3, 3}, {1, 1, 1}, {5, 5, 1}, {6, 9, 0}, {-3, 1, 1},
+	} {
+		if got := e.window(c.lo, c.hi); got != c.want {
+			t.Errorf("window(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestColdStartPrior pins the prior to core.Auto's decisions plus PR 7's
+// cascade rule: before any feedback the router must prefer exactly what the
+// old static planner chose.
+func TestColdStartPrior(t *testing.T) {
+	small := dataset.Cities(100, 1)
+	if got := New(small).Preferred(core.Query{Text: "berlin", K: 2}); got != "bitparallel" {
+		t.Errorf("small dataset prior = %s, want bitparallel (core.Auto's sub-amortization rule)", got)
+	}
+
+	big := dataset.Cities(core.BuildAmortization, 1)
+	e := New(big)
+	if got := e.Preferred(core.Query{Text: "berlin", K: 2}); got != "trie" {
+		t.Errorf("amortized dataset prior = %s, want trie (core.Auto's index rule)", got)
+	}
+	if got := e.Preferred(core.Query{Text: "berlin", K: 30}); got != "bitparallel" {
+		t.Errorf("permissive-k prior = %s, want bitparallel (core.Auto's pruning-defeat rule)", got)
+	}
+
+	// Pure-DNA corpora add the cascade: preferred at the small thresholds PR
+	// 7 measured it dominating (k = 2, 3), while k <= 1 stays on the trie
+	// and permissive k falls back to the scan.
+	reads := dataset.DNAReads(core.BuildAmortization, 2)
+	d := New(reads)
+	if !d.eligible[engCascade] {
+		t.Fatal("DNA corpus did not make the cascade eligible")
+	}
+	q := reads[0]
+	for k, want := range map[int]string{0: "trie", 1: "trie", 2: "cascade", 3: "cascade", 200: "bitparallel"} {
+		if got := d.Preferred(core.Query{Text: q, K: k}); got != want {
+			t.Errorf("DNA prior at k=%d = %s, want %s", k, got, want)
+		}
+	}
+	if city := New(dataset.Cities(100, 1)); city.eligible[engCascade] {
+		t.Error("city corpus made the cascade eligible; want DNA-packable only")
+	}
+}
+
+// TestRoutingIdenticalAcrossArms proves routing is a pure speed decision:
+// with the explore arm forced on every query, repeated searches take
+// different engines and every result must equal the DP oracle's.
+func TestRoutingIdenticalAcrossArms(t *testing.T) {
+	data := append(dataset.Cities(300, 3), "", "x")
+	e := New(data, WithExploreEvery(1))
+	oracle := core.Reference(data)
+	queries := []core.Query{
+		{Text: "berlin", K: 2}, {Text: data[0], K: 0}, {Text: data[1], K: 1},
+		{Text: "", K: 1}, {Text: "zzzzzzzzzz", K: 3},
+	}
+	for rep := 0; rep < 8; rep++ { // cycle the forced arm through every engine
+		for _, q := range queries {
+			want := oracle.Search(q)
+			got := e.Search(q)
+			if len(got) != len(want) {
+				t.Fatalf("rep %d %+v: got %d matches, want %d", rep, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("rep %d %+v: got[%d] = %+v, want %+v", rep, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Explores == 0 {
+		t.Error("forced explore mode recorded no explores")
+	}
+	var used int
+	for _, es := range st.Engines {
+		if es.Routes > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("forced explore mode used %d engines, want >= 2", used)
+	}
+}
+
+// TestFeedbackFlipsPreferred proves the online re-fit: planting measured
+// floors that contradict the prior must flip the routed engine.
+func TestFeedbackFlipsPreferred(t *testing.T) {
+	data := dataset.Cities(core.BuildAmortization, 1)
+	e := New(data)
+	q := core.Query{Text: "berlin", K: 2}
+	r := e.regime(q)
+	if got := e.preferred(r, q); got != engTrie {
+		t.Fatalf("cold preference = %v, want trie", engineNames[got])
+	}
+	// Feedback says the trie and the scan are slow here, the BK-tree fast.
+	// (The scan needs a sample too: an unsampled engine keeps its optimistic
+	// prior, and discovering such engines is exactly what the explore arm is
+	// for.)
+	e.observe(decision{id: engTrie, regime: r}, 900*time.Microsecond)
+	e.observe(decision{id: engBitParallel, regime: r}, 700*time.Microsecond)
+	e.observe(decision{id: engBKTree, regime: r}, 30*time.Microsecond)
+	if got := e.preferred(r, q); got != engBKTree {
+		t.Fatalf("preference after feedback = %v, want bktree", engineNames[got])
+	}
+	if got := e.Preferred(q); got != "bktree" {
+		t.Fatalf("Preferred(q) = %q, want bktree", got)
+	}
+}
+
+// TestFloorAndEwma pins the two estimators' update rules: the EWMA is a
+// bias-corrected mean, the floor is a decaying minimum (one fast sample sets
+// it; later slow samples only let it drift up floorDecay per observation).
+func TestFloorAndEwma(t *testing.T) {
+	e := New(dataset.Cities(100, 1))
+	d := decision{id: engBitParallel, regime: 7}
+	cell := int(d.id)*numRegimes + d.regime
+
+	e.observe(d, 100*time.Microsecond)
+	e.observe(d, 200*time.Microsecond)
+	ewma := math.Float64frombits(e.ewma[cell].Load())
+	if want := 150e3; math.Abs(ewma-want) > 1 {
+		t.Errorf("ewma after {100us, 200us} = %.0fns, want %.0f (cumulative mean)", ewma, want)
+	}
+	floor := math.Float64frombits(e.floor[cell].Load())
+	if want := 100e3 * floorDecay; math.Abs(floor-want) > 1 {
+		t.Errorf("floor after {100us, 200us} = %.0fns, want %.0f (decayed minimum)", floor, want)
+	}
+	e.observe(d, 40*time.Microsecond)
+	if floor = math.Float64frombits(e.floor[cell].Load()); floor != 40e3 {
+		t.Errorf("floor after a faster sample = %.0fns, want 40000", floor)
+	}
+	if s := e.samples[cell].Load(); s != 3 {
+		t.Errorf("samples = %d, want 3", s)
+	}
+}
+
+// TestExploreBounded runs a steady workload and checks the explore arm's
+// promise: explores happen, but stay a bounded sliver of traffic.
+func TestExploreBounded(t *testing.T) {
+	data := dataset.Cities(core.BuildAmortization, 2)
+	e := New(data)
+	q := core.Query{Text: data[0], K: 1}
+	for i := 0; i < 2000; i++ {
+		e.Search(q)
+	}
+	st := e.Stats()
+	if st.Explores == 0 {
+		t.Error("no explores over 2000 queries; the arm is dead")
+	}
+	if st.ExploreRatio > 0.35 {
+		t.Errorf("explore ratio %.2f; the arm is unbounded", st.ExploreRatio)
+	}
+	if st.Queries != 2000 {
+		t.Errorf("queries = %d, want 2000", st.Queries)
+	}
+}
+
+// TestSetExploreEveryAndFrozen pins the two operator switches: explore 0
+// stops exploration but keeps learning; frozen stops learning but keeps
+// routing and counting.
+func TestSetExploreEveryAndFrozen(t *testing.T) {
+	data := dataset.Cities(core.BuildAmortization, 2)
+	e := New(data)
+	q := core.Query{Text: data[0], K: 1}
+	r := e.regime(q)
+
+	e.SetExploreEvery(0)
+	for i := 0; i < 200; i++ {
+		e.Search(q)
+	}
+	st := e.Stats()
+	if st.Explores != 0 {
+		t.Errorf("explores with the arm off = %d, want 0", st.Explores)
+	}
+	prefCell := int(e.preferred(r, q))*numRegimes + r
+	if e.samples[prefCell].Load() == 0 {
+		t.Error("feedback stopped with the explore arm off; want routing to keep learning")
+	}
+
+	e.SetFrozen(true)
+	samplesBefore := e.samples[prefCell].Load()
+	queriesBefore := e.Stats().Queries
+	for i := 0; i < 100; i++ {
+		e.Search(q)
+	}
+	if got := e.samples[prefCell].Load(); got != samplesBefore {
+		t.Errorf("frozen router learned (%d -> %d samples)", samplesBefore, got)
+	}
+	if got := e.Stats().Queries; got != queriesBefore+100 {
+		t.Errorf("frozen router stopped counting (%d -> %d)", queriesBefore, got)
+	}
+	e.SetFrozen(false)
+	e.Search(q)
+	if got := e.samples[prefCell].Load(); got == samplesBefore {
+		t.Error("unfrozen router did not resume learning")
+	}
+}
+
+// TestLazyBuildAndPrime proves engines build on first route only: a workload
+// that never leaves the preferred arm builds one engine, and Prime builds
+// all eligible ones.
+func TestLazyBuildAndPrime(t *testing.T) {
+	data := dataset.Cities(core.BuildAmortization, 2)
+	e := New(data, WithExploreEvery(0))
+	var built int
+	for id := engineID(0); id < numEngines; id++ {
+		if e.built[id].Load() {
+			built++
+		}
+	}
+	if built != 0 {
+		t.Fatalf("%d engines built before any query, want 0", built)
+	}
+	e.Search(core.Query{Text: data[0], K: 1})
+	built = 0
+	for id := engineID(0); id < numEngines; id++ {
+		if e.built[id].Load() {
+			built++
+		}
+	}
+	if built != 1 {
+		t.Errorf("%d engines built after one no-explore query, want 1", built)
+	}
+	e.Prime()
+	for id := engineID(0); id < numEngines; id++ {
+		if e.eligible[id] && !e.built[id].Load() {
+			t.Errorf("Prime left %s unbuilt", engineNames[id])
+		}
+	}
+}
+
+// TestSearchContext checks the context path: a live context routes and
+// learns like Search, a cancelled one returns before touching an engine and
+// must not poison the estimator with a deadline measurement.
+func TestSearchContext(t *testing.T) {
+	data := dataset.Cities(200, 2)
+	e := New(data)
+	q := core.Query{Text: data[0], K: 1}
+	got, err := e.SearchContext(context.Background(), q)
+	if err != nil || len(got) == 0 {
+		t.Fatalf("SearchContext = %v, %v", got, err)
+	}
+	queries := e.Stats().Queries
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchContext(ctx, q); err == nil {
+		t.Fatal("cancelled context searched anyway")
+	}
+	if after := e.Stats().Queries; after != queries {
+		t.Errorf("cancelled query was routed and counted (%d -> %d)", queries, after)
+	}
+}
+
+// TestStatsAndMerge exercises the stats snapshot and the sharded-path
+// aggregation: counters sum, regime cells merge with sample-weighted EWMAs
+// and min-of-floors, preferred follows the merged floor.
+func TestStatsAndMerge(t *testing.T) {
+	a, b := New(dataset.Cities(100, 1)), New(dataset.Cities(100, 2))
+	q := core.Query{Text: "berlin", K: 1}
+	for i := 0; i < 10; i++ {
+		a.Search(q)
+		b.Search(q)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	m := Merge(sa, sb)
+	if m.Queries != sa.Queries+sb.Queries {
+		t.Errorf("merged queries = %d, want %d", m.Queries, sa.Queries+sb.Queries)
+	}
+	if len(m.Regimes) == 0 {
+		t.Fatal("merged stats lost the regime table")
+	}
+	for _, rs := range m.Regimes {
+		for name, fl := range rs.FloorUS {
+			if ew := rs.EwmaUS[name]; fl > ew*floorDecay+1e-9 {
+				t.Errorf("%s %s: merged floor %.1f above decayed ewma %.1f", rs.Regime, name, fl, ew)
+			}
+		}
+		best := math.Inf(1)
+		for _, fl := range rs.FloorUS {
+			if fl < best {
+				best = fl
+			}
+		}
+		if rs.FloorUS[rs.Preferred] != best {
+			t.Errorf("%s: preferred %q floor %.1f, want the minimum %.1f",
+				rs.Regime, rs.Preferred, rs.FloorUS[rs.Preferred], best)
+		}
+	}
+	if one := Merge(sa); one.Queries != sa.Queries {
+		t.Errorf("single-snapshot merge altered queries: %d != %d", one.Queries, sa.Queries)
+	}
+}
+
+// TestConcurrentSearch hammers one router from many goroutines; run under
+// -race this is the lock-free feedback path's data-race gate, and the final
+// counters must balance.
+func TestConcurrentSearch(t *testing.T) {
+	data := dataset.Cities(500, 3)
+	e := New(data, WithExploreEvery(4))
+	queries := []core.Query{
+		{Text: data[0], K: 0}, {Text: data[1], K: 1},
+		{Text: "berlin", K: 2}, {Text: "münchen", K: 3},
+	}
+	const workers, perWorker = 8, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e.Search(queries[(w+i)%len(queries)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Queries != workers*perWorker {
+		t.Errorf("queries = %d, want %d", st.Queries, workers*perWorker)
+	}
+	var routed uint64
+	for _, es := range st.Engines {
+		routed += es.Routes
+	}
+	if routed != workers*perWorker {
+		t.Errorf("summed routes = %d, want %d", routed, workers*perWorker)
+	}
+}
+
+// TestEligibleAndName pins the introspection surface.
+func TestEligibleAndName(t *testing.T) {
+	e := New(dataset.DNAReads(50, 1))
+	if e.Name() != "router" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.Len() != 50 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	want := []string{"bitparallel", "trie", "bktree", "cascade"}
+	got := e.Eligible()
+	if len(got) != len(want) {
+		t.Fatalf("Eligible = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Eligible = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package simsearch_test
+
+import (
+	"strings"
+	"testing"
+
+	"simsearch"
+	"simsearch/internal/router"
+)
+
+// FuzzRouterIdentical is the adaptive router's acceptance harness: routing
+// must be a pure speed decision, so on fuzz-generated datasets over both of
+// the paper's alphabets every engine the router can take — preferred arm or
+// explore arm, direct, sharded, or cached — must return results
+// byte-identical to the DP scan. The direct router runs with the explore arm
+// forced on every query (WithExploreEvery(1)) and each query is repeated, so
+// the feedback loop accumulates samples and the arm cycles through every
+// candidate engine, including the cascade on pure-DNA datasets.
+func FuzzRouterIdentical(f *testing.F) {
+	cities := simsearch.GenerateCities(12, 7)
+	reads := simsearch.GenerateDNAReads(6, 7)
+	f.Add(strings.Join(cities, "\n"), cities[0], 2)
+	f.Add(strings.Join(reads, "\n"), reads[0], 3) // pure DNA: cascade eligible
+	f.Add("A\nAC\nACG\nACGT", "ACX", 1)
+	f.Add("dup\ndup\ndup", "dup", 0) // k=0 exact lookup
+	f.Add("", "anything", 3)
+	f.Add("café\nnaïve", "cafe", 2)
+	f.Add(strings.Join(cities, "\n"), "", 16) // empty query, permissive k
+
+	f.Fuzz(func(t *testing.T, blob, q string, k int) {
+		if len(blob) > 2048 || len(q) > 160 {
+			t.Skip("cap work per input")
+		}
+		data := strings.Split(blob, "\n")
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		if k < 0 {
+			k = -k
+		}
+		k %= 17 // up to the paper's largest DNA threshold
+		query := simsearch.Query{Text: q, K: k}
+
+		// The DP scan defines correctness for this harness.
+		want := simsearch.NewScan(data).Search(query)
+
+		engines := []simsearch.Searcher{
+			router.New(data, router.WithExploreEvery(1)),                                      // direct, every query explores
+			simsearch.NewSharded(data, 3, simsearch.Options{Algorithm: simsearch.Router}),     // one router per shard
+			simsearch.New(data, simsearch.Options{Algorithm: simsearch.Router, CacheSize: 8}), // cached
+		}
+		for _, eng := range engines {
+			// Repeats cycle the forced explore arm across candidates and
+			// exercise the feedback path; every repeat must agree.
+			for rep := 0; rep < 5; rep++ {
+				got := eng.Search(query)
+				if len(got) != len(want) {
+					t.Fatalf("%s rep %d: got %v, want %v (q=%q k=%d data=%q)",
+						eng.Name(), rep, got, want, q, k, data)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s rep %d: got %v, want %v (q=%q k=%d data=%q)",
+							eng.Name(), rep, got, want, q, k, data)
+					}
+				}
+			}
+		}
+	})
+}

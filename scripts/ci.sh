@@ -28,7 +28,7 @@ echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router
 
 echo "== bench smoke =="
 # One iteration of every benchmark, so bench code cannot silently rot; the
@@ -41,6 +41,7 @@ echo "== fuzz smoke =="
 go test -run=NONE -fuzz='^FuzzEnginesAgree$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzBitParallelIdentical$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzCascadeIdentical$' -fuzztime=5s .
+go test -run=NONE -fuzz='^FuzzRouterIdentical$' -fuzztime=5s .
 go test -run=NONE -fuzz='^FuzzDifferential$' -fuzztime=5s ./internal/exec
 go test -run=NONE -fuzz='^FuzzCachedIdentical$' -fuzztime=5s ./internal/cache
 go test -run=NONE -fuzz='^FuzzKernelsAgree$' -fuzztime=5s ./internal/edit

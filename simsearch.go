@@ -33,6 +33,7 @@ import (
 	"simsearch/internal/exec"
 	"simsearch/internal/filter"
 	"simsearch/internal/pool"
+	"simsearch/internal/router"
 	"simsearch/internal/scan"
 	"simsearch/internal/trie"
 )
@@ -81,6 +82,13 @@ const (
 	// query, over a 3-bit packed arena when the dataset is pure DNA.
 	// Results are identical to Scan; only the pruning differs.
 	Cascade
+	// Router is the cost-model adaptive router: it holds the bit-parallel
+	// scan, the modern trie, the BK-tree, and (on pure-DNA datasets) the
+	// cascade behind one facade and picks an engine per query from a cost
+	// model over (query length, k, length-window selectivity) that re-fits
+	// online from measured latencies. Results are identical to Scan; only
+	// the engine taken — and therefore speed — differs per query.
+	Router
 )
 
 // Options configures New. The zero value selects the best serial sequential
@@ -169,6 +177,10 @@ func newEngine(data []string, opts Options) Searcher {
 		// The cascade engine answers each query serially; parallelism comes
 		// from sharding (NewSharded) like the other serial engines.
 		return core.NewCascade(data)
+	case Router:
+		// The router's candidate engines answer serially; parallelism comes
+		// from sharding (NewSharded builds one router per shard).
+		return router.New(data)
 	default:
 		sopts := []scan.Option{scan.WithStrategy(scan.SimpleTypes)}
 		if opts.Workers > 1 {
@@ -222,6 +234,24 @@ func NewBitParallel(data []string, workers int) Searcher {
 // to NewScan on every dataset and query.
 func NewCascade(data []string) Searcher {
 	return New(data, Options{Algorithm: Cascade})
+}
+
+// NewRouter returns the cost-model adaptive router over data: every query
+// is routed to whichever candidate engine (bit-parallel scan, modern trie,
+// BK-tree, cascade on pure-DNA datasets) the cost model predicts fastest for
+// its regime, with measured latencies fed back online and a small bounded
+// explore arm keeping the estimates fresh as the workload drifts. Candidate
+// engines are built lazily on first route. Results are byte-identical to
+// NewScan for every dataset and query.
+func NewRouter(data []string) Searcher {
+	return New(data, Options{Algorithm: Router})
+}
+
+// NewAutomaton returns the Levenshtein-automaton scan: each query compiles
+// a lazy-DFA automaton that is then run over every dataset string — the
+// construction mature search engines use for fuzzy term matching.
+func NewAutomaton(data []string) Searcher {
+	return New(data, Options{Algorithm: Automaton})
 }
 
 // SearchBatch answers all queries with eng. Engines with their own batch
