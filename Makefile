@@ -7,8 +7,10 @@ GO ?= go
 # LSM store (searches racing writes, flushes, and background compaction),
 # the cascade (shared engine state under concurrent queries), the
 # scatter-gather coordinator (hedged RPCs, breakers, admission control), and
-# the adaptive router (lock-free cost-model updates under concurrent search).
-RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router
+# the adaptive router (lock-free cost-model updates under concurrent search),
+# and the analysis framework (its fixture loader shares a package cache that
+# the dual test units exercise).
+RACE_PKGS = ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router ./internal/analysis
 
 FUZZ_SMOKE_TIME ?= 5s
 
@@ -26,10 +28,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The repo's own invariant analyzers (internal/analysis). `-json` is
-# available for machine consumption: go run ./cmd/simlint -json ./...
+# The repo's own invariant analyzers (internal/analysis), including the
+# interprocedural concurrency suite (lockorder, unlockpath, blockunderlock,
+# goleak). Findings fail the build — and so do malformed or stale
+# //lint:ignore directives, which are findings themselves. lint.json is the
+# machine-readable CI artifact; `-why <analyzer>` prints each finding's
+# call-graph/lockset evidence.
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -report lint.json ./...
 
 test: build
 	$(GO) test ./...

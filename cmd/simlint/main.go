@@ -3,22 +3,29 @@
 //
 // Usage:
 //
-//	simlint [-json] [-list] [packages...]
+//	simlint [-json] [-list] [-why analyzer] [-report file] [packages...]
 //
 // Packages default to ./... (the whole module). Exit status: 0 when clean,
 // 1 when any finding survives suppression, 2 on usage or load errors.
 //
 // Machine consumption: -json emits a JSON array of findings
-// ({"analyzer","file","line","col","message"}) on stdout — an empty array
-// when clean — which is what CI tooling should parse instead of the human
-// format.
+// ({"analyzer","file","line","col","message"[,"why"]}) on stdout — an empty
+// array when clean — which is what CI tooling should parse instead of the
+// human format. -report <file> writes the same JSON array to a file while
+// stdout keeps the human format (the CI lint artifact).
+//
+// -why <analyzer> runs that analyzer alone and prints, under each finding,
+// the evidence that produced it: the call-graph path to the blocking or
+// acquiring operation, the lock-order cycle's edges, or the exit path that
+// leaks a lock.
 //
 // Suppression: a finding is silenced by
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
-// on the flagged line or the line above. The reason is mandatory; malformed
-// or unknown-analyzer directives are findings themselves.
+// on the flagged line or the line above. The reason is mandatory; malformed,
+// unknown-analyzer, and stale (suppressing-nothing) directives are findings
+// themselves.
 package main
 
 import (
@@ -33,11 +40,12 @@ import (
 
 // jsonDiag is the machine-readable finding shape.
 type jsonDiag struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	Analyzer string   `json:"analyzer"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+	Why      []string `json:"why,omitempty"`
 }
 
 func main() {
@@ -51,10 +59,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	why := fs.String("why", "", "run one `analyzer` and print each finding's call-graph/lockset evidence")
+	report := fs.String("report", "", "additionally write the JSON findings array to `file`")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: simlint [-json] [-list] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: simlint [-json] [-list] [-why analyzer] [-report file] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
@@ -63,9 +73,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	analyzers := analysis.All()
+	if *why != "" {
+		a := analysis.ByName(*why)
+		if a == nil {
+			fmt.Fprintf(stderr, "simlint: -why %s: no such analyzer (see -list)\n", *why)
+			return 2
+		}
+		analyzers = []*analysis.Analyzer{a}
 	}
 
 	patterns := fs.Args()
@@ -84,32 +104,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analysis.All())
+	diags := analysis.Run(pkgs, analyzers)
 
-	if *jsonOut {
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				Analyzer: d.Analyzer,
-				File:     d.Position.Filename,
-				Line:     d.Position.Line,
-				Col:      d.Position.Column,
-				Message:  d.Message,
-			})
+	if *report != "" {
+		if err := writeJSON(*report, diags); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
 		}
+	}
+	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(toJSON(diags)); err != nil {
 			fmt.Fprintln(stderr, "simlint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
+			if *why != "" {
+				for _, step := range d.Witness {
+					fmt.Fprintf(stdout, "\t%s\n", step)
+				}
+			}
 		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+func toJSON(diags []analysis.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Message:  d.Message,
+			Why:      d.Witness,
+		})
+	}
+	return out
+}
+
+func writeJSON(path string, diags []analysis.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toJSON(diags)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

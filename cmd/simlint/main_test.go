@@ -3,13 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// fixture is a package with known findings (two unsuppressed test sleeps);
-// analyzer fixtures double as exit-code fixtures for the command.
+// fixture is a package with known findings (six unsuppressed time-based
+// synchronization shapes across its test files); analyzer fixtures double
+// as exit-code fixtures for the command.
 const fixture = "../../internal/analysis/testdata/src/nosleeptest"
+
+// fixtureFindings is the number of surviving findings in fixture.
+const fixtureFindings = 6
 
 func TestRunCleanPackage(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -40,8 +46,8 @@ func TestRunJSONFindings(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if len(diags) != 2 {
-		t.Fatalf("findings = %d, want 2\n%s", len(diags), out.String())
+	if len(diags) != fixtureFindings {
+		t.Fatalf("findings = %d, want %d\n%s", len(diags), fixtureFindings, out.String())
 	}
 	for _, d := range diags {
 		if d.Analyzer != "nosleeptest" || d.Line == 0 || !strings.HasSuffix(d.File, "_test.go") {
@@ -72,9 +78,62 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"atomicfield", "copyonread", "ctxpoll", "hotalloc", "nosleeptest"} {
+	for _, name := range []string{
+		"atomicfield", "blockunderlock", "copyonread", "ctxpoll", "goleak",
+		"hotalloc", "lockorder", "nosleeptest", "unlockpath",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestRunWhySelectsOneAnalyzer(t *testing.T) {
+	// -why nosleeptest over the fixture still finds the sleeps...
+	var out, errb bytes.Buffer
+	if code := run([]string{"-why", "nosleeptest", fixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "time.Sleep in test") {
+		t.Errorf("-why output missing the finding:\n%s", out.String())
+	}
+	// ...while -why for a different analyzer runs it alone and comes up clean.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-why", "ctxpoll", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+}
+
+func TestRunWhyUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-why", "nosuchanalyzer"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no such analyzer") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestRunReportArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-report", path, fixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	// Stdout keeps the human format.
+	if !strings.Contains(out.String(), "time.Sleep in test") {
+		t.Errorf("stdout missing human findings:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(diags) != fixtureFindings {
+		t.Errorf("report findings = %d, want %d", len(diags), fixtureFindings)
 	}
 }

@@ -41,10 +41,14 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicField,
+		BlockUnderLock,
 		CopyOnRead,
 		CtxPoll,
+		GoLeak,
 		HotAlloc,
+		LockOrder,
 		NoSleepTest,
+		UnlockPath,
 	}
 }
 
@@ -69,6 +73,7 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -81,6 +86,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ReportWitness records a finding together with the call-graph path / lockset
+// evidence that produced it (rendered by `simlint -why <analyzer>`).
+func (p *Pass) ReportWitness(pos token.Pos, witness []string, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Witness:  witness,
+	})
+}
+
+// Graph returns the unit's call graph (built lazily, shared across the
+// analyzers running on this package).
+func (p *Pass) Graph() *callGraph {
+	return p.pkg.callGraph()
+}
+
 // InTestFile reports whether pos lies in a _test.go file.
 func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
@@ -91,6 +113,10 @@ type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Position token.Position `json:"-"`
 	Message  string         `json:"message"`
+	// Witness, when present, is the evidence chain behind the finding: the
+	// call-graph path to the blocking/acquiring operation, or the lock-order
+	// cycle's edges. Printed by `simlint -why`.
+	Witness []string `json:"why,omitempty"`
 }
 
 // String renders the conventional file:line:col form.
@@ -116,6 +142,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Syntax,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				pkg:      pkg,
 				diags:    &pkgDiags,
 			}
 			a.Run(pass)
@@ -125,6 +152,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				diags = append(diags, d)
 			}
 		}
+		// A directive that suppressed nothing has outlived the code it
+		// excused: report it (with its recorded reason) so it gets deleted.
+		ig.reportStale(analyzers, &diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

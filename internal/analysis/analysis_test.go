@@ -108,6 +108,22 @@ func TestNoSleepTestFixture(t *testing.T) {
 	runFixture(t, "nosleeptest", "simsearch/fixture/nosleeptest", []*Analyzer{NoSleepTest})
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, "lockorder", "simsearch/internal/lsm", []*Analyzer{LockOrder})
+}
+
+func TestUnlockPathFixture(t *testing.T) {
+	runFixture(t, "unlockpath", "simsearch/internal/cache", []*Analyzer{UnlockPath})
+}
+
+func TestBlockUnderLockFixture(t *testing.T) {
+	runFixture(t, "blockunderlock", "simsearch/internal/distrib", []*Analyzer{BlockUnderLock})
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	runFixture(t, "goleak", "simsearch/internal/exec", []*Analyzer{GoLeak})
+}
+
 func TestAtomicFieldFixture(t *testing.T) {
 	runFixture(t, "atomicfield", "simsearch/fixture/atomicfield", []*Analyzer{AtomicField})
 }
@@ -119,8 +135,8 @@ func TestCopyOnReadFixture(t *testing.T) {
 // TestIgnoreDirectives checks directive hygiene by hand (the expectations
 // are about the directives themselves, so want comments cannot express
 // them): malformed directives are findings, a multi-analyzer directive
-// suppresses, and a directive on the wrong line or naming the wrong
-// analyzer does not.
+// suppresses, a directive on the wrong line or naming the wrong analyzer
+// does not — and such an inert directive is itself reported as stale.
 func TestIgnoreDirectives(t *testing.T) {
 	l := fixtureLoader(t)
 	pkgs, err := l.LoadFixture(filepath.Join("testdata", "src", "ignores"), "simsearch/fixture/ignores")
@@ -133,7 +149,9 @@ func TestIgnoreDirectives(t *testing.T) {
 	}{
 		{"simlint", "malformed //lint:ignore"},         // missing reason
 		{"simlint", "unknown analyzer nosuchanalyzer"}, // bad name
+		{"simlint", "stale //lint:ignore hotalloc"},    // wrong-analyzer directive suppressed nothing
 		{"nosleeptest", "time.Sleep in test"},          // wrong analyzer named
+		{"simlint", "stale //lint:ignore nosleeptest"}, // two lines away, so inert
 		{"nosleeptest", "time.Sleep in test"},          // directive two lines away
 	}
 	if len(diags) != len(want) {

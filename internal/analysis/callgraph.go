@@ -1,0 +1,596 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// callGraph is the interprocedural layer behind lockorder, unlockpath,
+// blockunderlock, goleak, and the upgraded hotalloc: the declared functions
+// of one analysis unit plus every module-internal package it (transitively)
+// imports, with memoized per-function summaries. Summaries are conservative
+// may-facts computed straight off the AST:
+//
+//   - mayBlock: the function can reach a blocking operation (channel op,
+//     select without default, curated blocking stdlib call) — with the call
+//     chain that witnesses it.
+//   - mayAcquire: the set of lock keys the function may acquire, each with
+//     its witness chain.
+//   - observesShutdown: the function mentions a context, receives from a
+//     chan struct{}, touches a WaitGroup, or calls a module-internal
+//     function that does.
+//   - allocatesDirect: the function's own body allocates at a guard-free
+//     position (make/new, closure, string<->[]byte conversion, fmt call).
+//
+// Soundness limits (see DESIGN §16): dynamic calls through func values and
+// interface methods have no summary and are assumed inert; `go` statement
+// bodies belong to the spawned goroutine, not the caller.
+type callGraph struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	nodes      map[*types.Func]*funcNode
+
+	blockMemo map[*types.Func]*blockInfo
+	acqMemo   map[*types.Func]map[lockKey]*acqInfo
+	obsMemo   map[*types.Func]bool
+	allocMemo map[*types.Func]*allocInfo
+}
+
+// funcNode is one declared function body with the types.Info of its unit.
+type funcNode struct {
+	decl *ast.FuncDecl
+	info *types.Info
+}
+
+// blockInfo describes why a function may block. A nil *blockInfo means
+// "cannot block" (as far as the analysis sees).
+type blockInfo struct {
+	desc  string
+	pos   token.Pos
+	chain []string
+}
+
+// acqInfo describes one transitively acquirable lock.
+type acqInfo struct {
+	pos   token.Pos
+	read  bool
+	chain []string
+}
+
+// allocInfo describes a guard-free allocation in a function's direct body.
+type allocInfo struct {
+	desc string
+	pos  token.Pos
+}
+
+// callGraph builds (once) and returns the unit's graph.
+func (p *Package) callGraph() *callGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	g := &callGraph{
+		fset:      p.Fset,
+		nodes:     map[*types.Func]*funcNode{},
+		blockMemo: map[*types.Func]*blockInfo{},
+		acqMemo:   map[*types.Func]map[lockKey]*acqInfo{},
+		obsMemo:   map[*types.Func]bool{},
+		allocMemo: map[*types.Func]*allocInfo{},
+	}
+	if p.loader != nil {
+		g.moduleRoot = p.loader.ModuleRoot
+		g.modulePath = p.loader.ModulePath
+	}
+	g.add(p.Syntax, p.Info)
+	if p.loader != nil && p.Types != nil {
+		seen := map[string]bool{}
+		var visit func(tp *types.Package)
+		visit = func(tp *types.Package) {
+			for _, imp := range tp.Imports() {
+				path := imp.Path()
+				if seen[path] || !g.internalPath(path) {
+					continue
+				}
+				seen[path] = true
+				if u := p.loader.pureUnits[path]; u != nil {
+					g.add(u.Syntax, u.Info)
+				}
+				visit(imp)
+			}
+		}
+		visit(p.Types)
+	}
+	p.cg = g
+	return g
+}
+
+// internalPath reports whether an import path belongs to this module.
+func (g *callGraph) internalPath(path string) bool {
+	return g.modulePath != "" &&
+		(path == g.modulePath || strings.HasPrefix(path, g.modulePath+"/"))
+}
+
+func (g *callGraph) add(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.nodes[fn] = &funcNode{decl: fd, info: info}
+			}
+		}
+	}
+}
+
+// nodeFor resolves a callee to its declaration node, mapping instantiated
+// generic functions back to their declared origin.
+func (g *callGraph) nodeFor(fn *types.Func) *funcNode {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return g.nodes[fn]
+}
+
+// staticCallee resolves the *types.Func a call statically invokes (nil for
+// builtins, conversions, and dynamic calls).
+func (g *callGraph) staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := calleeObject(info, call).(*types.Func)
+	return fn
+}
+
+// posStr renders a position module-root-relative for witness chains.
+func (g *callGraph) posStr(pos token.Pos) string {
+	p := g.fset.Position(pos)
+	name := p.Filename
+	if g.moduleRoot != "" {
+		if rel, ok := strings.CutPrefix(name, g.moduleRoot+"/"); ok {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// funcLabel renders "pkg.Func" / "pkg.Type.Method" for witness chains.
+func funcLabel(fn *types.Func) string {
+	name := fn.Name()
+	if recv := recvTypeName(fn); recv != "" {
+		name = recv + "." + name
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// --- mayBlock ---------------------------------------------------------------
+
+// mayBlock reports whether fn can reach a blocking operation, with a witness
+// chain ("pkg.Fn (file:line)" per hop, ending at the operation). Dynamic
+// calls and unknown externals are assumed non-blocking; recursion is cut by
+// treating in-progress functions as non-blocking.
+func (g *callGraph) mayBlock(fn *types.Func) *blockInfo {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if bi, ok := g.blockMemo[fn]; ok {
+		return bi
+	}
+	g.blockMemo[fn] = nil // in-progress: recursion assumed non-blocking
+	node := g.nodeFor(fn)
+	if node == nil {
+		bi := blockingStdlibCall(fn)
+		g.blockMemo[fn] = bi
+		return bi
+	}
+	bi := g.scanBlocking(node.decl.Body, node.info)
+	if bi != nil {
+		bi = &blockInfo{
+			desc: bi.desc,
+			pos:  node.decl.Pos(),
+			chain: append([]string{
+				fmt.Sprintf("%s (%s)", funcLabel(fn), g.posStr(node.decl.Pos())),
+			}, bi.chain...),
+		}
+	}
+	g.blockMemo[fn] = bi
+	return bi
+}
+
+// scanBlocking finds the first (syntactically) blocking operation reachable
+// in a body: channel sends/receives outside a select-with-default, selects
+// without default, blocking stdlib calls, or calls to module-internal
+// functions that may block. `go` statement subtrees are skipped.
+func (g *callGraph) scanBlocking(n ast.Node, info *types.Info) *blockInfo {
+	var found *blockInfo
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				found = &blockInfo{desc: "select without default", pos: x.Pos(),
+					chain: []string{fmt.Sprintf("select without default (%s)", g.posStr(x.Pos()))}}
+				return false
+			}
+			// Non-blocking select: scan only the clause bodies (the comm ops
+			// themselves cannot block here).
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			found = &blockInfo{desc: "channel send", pos: x.Pos(),
+				chain: []string{fmt.Sprintf("channel send (%s)", g.posStr(x.Pos()))}}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = &blockInfo{desc: "channel receive", pos: x.Pos(),
+					chain: []string{fmt.Sprintf("channel receive (%s)", g.posStr(x.Pos()))}}
+				return false
+			}
+		case *ast.CallExpr:
+			if classifyLockCall(info, x) != nil {
+				return true // lock ops are lockorder's domain, not blocking
+			}
+			callee := g.staticCallee(info, x)
+			if callee == nil {
+				return true
+			}
+			if bi := g.mayBlock(callee); bi != nil {
+				found = &blockInfo{desc: bi.desc, pos: x.Pos(),
+					chain: append([]string{fmt.Sprintf("calls %s (%s)", funcLabel(callee), g.posStr(x.Pos()))},
+						bi.chain[1:]...)}
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return found
+}
+
+// blockingStdlibCall classifies standard-library functions that block the
+// calling goroutine. Curated, not exhaustive: the point is catching I/O and
+// waits on the serving path, not modelling the whole stdlib.
+func blockingStdlibCall(fn *types.Func) *blockInfo {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	pkg := fn.Pkg().Path()
+	name := fn.Name()
+	recv := recvTypeName(fn)
+	block := func(desc string) *blockInfo {
+		return &blockInfo{desc: desc, pos: token.NoPos,
+			chain: []string{fmt.Sprintf("%s.%s: %s", pkg, name, desc)}}
+	}
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return block("time.Sleep")
+		}
+	case "sync":
+		if name == "Wait" && (recv == "Cond" || recv == "WaitGroup") {
+			return block("sync." + recv + ".Wait")
+		}
+	case "os":
+		switch recv {
+		case "File":
+			switch name {
+			case "Read", "ReadAt", "ReadFrom", "Write", "WriteAt", "WriteString",
+				"Sync", "Seek", "Truncate", "Close":
+				return block("file I/O (os.File." + name + ")")
+			}
+		case "":
+			switch name {
+			case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "Rename",
+				"Remove", "RemoveAll", "Mkdir", "MkdirAll", "ReadDir", "Stat",
+				"Lstat", "Truncate", "Chmod":
+				return block("file I/O (os." + name + ")")
+			}
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "DialTCP", "DialUDP", "DialIP", "DialUnix",
+			"Listen", "ListenTCP", "ListenUDP", "ListenPacket", "LookupHost",
+			"LookupAddr", "LookupIP":
+			return block("network I/O (net." + name + ")")
+		case "Read", "Write", "Accept", "Close":
+			if recv != "" {
+				return block("network I/O (net." + recv + "." + name + ")")
+			}
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Post", "PostForm", "Head", "Do", "RoundTrip",
+			"ListenAndServe", "ListenAndServeTLS", "Serve":
+			return block("HTTP round-trip (net/http " + name + ")")
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return block("subprocess wait (os/exec " + name + ")")
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "ReadAll", "ReadFull":
+			return block("io." + name + " on an unknown reader/writer")
+		}
+	}
+	return nil
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// --- mayAcquire -------------------------------------------------------------
+
+// mayAcquire returns the lock keys fn may (transitively) acquire, each with
+// a witness chain. Bodies of func literals and `go` statements are excluded:
+// their acquisitions happen on other control paths.
+func (g *callGraph) mayAcquire(fn *types.Func) map[lockKey]*acqInfo {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if m, ok := g.acqMemo[fn]; ok {
+		return m
+	}
+	g.acqMemo[fn] = nil // in-progress: recursion contributes nothing
+	node := g.nodeFor(fn)
+	if node == nil {
+		g.acqMemo[fn] = map[lockKey]*acqInfo{}
+		return nil
+	}
+	out := map[lockKey]*acqInfo{}
+	self := fmt.Sprintf("%s (%s)", funcLabel(fn), g.posStr(node.decl.Pos()))
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if op := classifyLockCall(node.info, x); op != nil {
+				if op.acquire {
+					if _, ok := out[op.key]; !ok {
+						out[op.key] = &acqInfo{pos: x.Pos(), read: op.read,
+							chain: []string{self, fmt.Sprintf("%s.%s (%s)", op.key.short(), op.method, g.posStr(x.Pos()))}}
+					}
+				}
+				return true
+			}
+			if callee := g.staticCallee(node.info, x); callee != nil {
+				for k, ai := range g.mayAcquire(callee) {
+					if _, ok := out[k]; !ok {
+						out[k] = &acqInfo{pos: x.Pos(), read: ai.read,
+							chain: append([]string{self}, ai.chain...)}
+					}
+				}
+			}
+		}
+		return true
+	})
+	g.acqMemo[fn] = out
+	return out
+}
+
+// --- observesShutdown -------------------------------------------------------
+
+// observesShutdown reports whether fn's body observes a lifecycle signal: it
+// mentions a context.Context value, receives/selects/ranges on a
+// chan struct{}, calls a sync.WaitGroup method, or calls a module-internal
+// function that does. Closing a channel does not count — closing signals,
+// it never unblocks the closer.
+func (g *callGraph) observesShutdown(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if v, ok := g.obsMemo[fn]; ok {
+		return v
+	}
+	g.obsMemo[fn] = false // in-progress
+	node := g.nodeFor(fn)
+	if node == nil {
+		return false
+	}
+	// Parameters count: a context/chan struct{}/WaitGroup-typed parameter
+	// means the caller handed the signal in.
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isShutdownSignalType(sig.Params().At(i).Type()) {
+				g.obsMemo[fn] = true
+				return true
+			}
+		}
+	}
+	v := g.bodyObservesShutdown(node.decl.Body, node.info)
+	g.obsMemo[fn] = v
+	return v
+}
+
+// bodyObservesShutdown is the body scan shared with goleak's direct literal
+// check.
+func (g *callGraph) bodyObservesShutdown(body ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine observing a signal does not make THIS
+			// goroutine bounded.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && exprIsShutdownChan(info, x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if exprIsShutdownChan(info, x.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeObject(info, x).(*types.Func); ok && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "sync" && recvTypeName(fn) == "WaitGroup" {
+					found = true
+					return false
+				}
+				if fn.Pkg().Path() == "context" {
+					found = true // context.WithCancel etc — the ctx is in hand
+					return false
+				}
+				if g.nodeFor(fn) != nil && g.observesShutdown(fn) {
+					found = true
+					return false
+				}
+			}
+			// ctx.Err() / ctx.Done() / any method on a context value.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if v, ok := firstUseOrDef(info, x).(*types.Var); ok && isContextType(v.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isShutdownSignalType reports context.Context, chan struct{}, or
+// (*)sync.WaitGroup.
+func isShutdownSignalType(t types.Type) bool {
+	if isContextType(t) || isCancelChanType(t) {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+	}
+	return false
+}
+
+// exprIsShutdownChan reports whether e is a chan struct{} value or a
+// ctx.Done() call.
+func exprIsShutdownChan(info *types.Info, e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return isCancelChanType(tv.Type)
+	}
+	return false
+}
+
+// --- allocatesDirect --------------------------------------------------------
+
+// allocatesDirect reports the first allocation in fn's own body that sits at
+// a guard-free position: not under if/switch/select, not in a loop (loops
+// can run zero iterations — the amortized row-pool idiom `for len(pool) <= d
+// { append(make...) }` must stay legal), not in a nested func literal or
+// `go` statement. One level deep only (hotalloc's "hidden one call deep"
+// rule); no recursion into further callees.
+func (g *callGraph) allocatesDirect(fn *types.Func) *allocInfo {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if ai, ok := g.allocMemo[fn]; ok {
+		return ai
+	}
+	node := g.nodeFor(fn)
+	if node == nil {
+		g.allocMemo[fn] = nil
+		return nil
+	}
+	var found *allocInfo
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.GoStmt, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.FuncLit:
+			found = &allocInfo{desc: "allocates a closure", pos: x.Pos()}
+			return false
+		case *ast.CallExpr:
+			if tv, ok := node.info.Types[x.Fun]; ok && tv.IsType() {
+				if len(x.Args) == 1 && isStringByteConversion(node.info, x) {
+					found = &allocInfo{desc: "string<->[]byte conversion", pos: x.Pos()}
+					return false
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := node.info.Uses[id].(*types.Builtin); isBuiltin &&
+					(b.Name() == "make" || b.Name() == "new") {
+					found = &allocInfo{desc: b.Name() + " allocation", pos: x.Pos()}
+					return false
+				}
+			}
+			if fn, ok := calleeObject(node.info, x).(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				found = &allocInfo{desc: "fmt." + fn.Name() + " call", pos: x.Pos()}
+				return false
+			}
+		}
+		return true
+	})
+	g.allocMemo[fn] = found
+	return found
+}

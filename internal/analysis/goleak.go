@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak enforces goroutine lifecycle hygiene in the concurrent serving
+// packages: every `go` statement must observe a shutdown signal — a
+// context.Context, a done/quit channel (chan struct{}) it receives from, or
+// a sync.WaitGroup — visible in the launched body or its module-internal
+// callees, or handed in through the launch arguments. A goroutine with none
+// of those can outlive Close/cancel and leak (the PR 6 compactor and PR 8
+// prober bugs this repo already fixed by hand). Closing a channel does not
+// count as observing: close() signals others and never unblocks the closer.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement must observe a shutdown signal (context, done channel, or WaitGroup) in its body, callees, or launch arguments",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if !servingScope(pass.Path) {
+		return
+	}
+	g := pass.Graph()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			closures := collectLocalClosures(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, g, gs, closures)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(pass *Pass, g *callGraph, gs *ast.GoStmt, closures map[types.Object]*ast.FuncLit) {
+	// Launch arguments: handing the goroutine a context, cancel channel, or
+	// WaitGroup counts — the body receives the signal by construction.
+	for _, arg := range gs.Call.Args {
+		if exprIsShutdownSignal(pass.Info, arg) {
+			return
+		}
+	}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if g.bodyObservesShutdown(fun.Body, pass.Info) {
+			return
+		}
+	case *ast.Ident:
+		if lit := closures[pass.Info.Uses[fun]]; lit != nil {
+			if g.bodyObservesShutdown(lit.Body, pass.Info) {
+				return
+			}
+		} else if fn, ok := pass.Info.Uses[fun].(*types.Func); ok && g.observesShutdown(fn) {
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && g.observesShutdown(fn) {
+			return
+		}
+	}
+	pass.ReportWitness(gs.Pos(), []string{
+		withPos(g, gs.Pos(), "goroutine launched here"),
+		"no context mention, chan struct{} receive, or WaitGroup call found in the body or its module-internal callees",
+	}, "goroutine never observes a shutdown signal (context, done channel, or WaitGroup) and can outlive Close/cancel")
+}
+
+// exprIsShutdownSignal reports whether an argument expression carries a
+// shutdown signal: a context, a chan struct{}, a (pointer to) WaitGroup, or
+// a ctx.Done() call.
+func exprIsShutdownSignal(info *types.Info, e ast.Expr) bool {
+	if exprIsShutdownChan(info, e) {
+		return true
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isShutdownSignalType(tv.Type)
+}

@@ -12,12 +12,14 @@ import (
 // conversions and must not allocate closures. In loops that invoke a
 // comparison kernel (a call into internal/edit), fmt calls and the
 // allocation builtins make/new are additionally flagged — "allocate a
-// scratch buffer per element" is the classic regression. Construction and
-// serialization loops are exempt from the latter checks because they never
-// call into internal/edit.
+// scratch buffer per element" is the classic regression — and, since the
+// call-graph upgrade, so are calls to module-internal functions whose own
+// body allocates at a guard-free position: hiding the make one call deep no
+// longer gets past the gate. Construction and serialization loops are exempt
+// from the latter checks because they never call into internal/edit.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no string<->[]byte conversions, closures, fmt calls, or per-element make/new in the innermost kernel loops of internal/edit, internal/scan, internal/trie",
+	Doc:  "no string<->[]byte conversions, closures, fmt calls, or per-element make/new — direct or one call deep — in the innermost kernel loops of internal/edit, internal/scan, internal/trie",
 	Run:  runHotAlloc,
 }
 
@@ -108,10 +110,34 @@ func checkHotLoop(pass *Pass, body *ast.BlockStmt) {
 							"%s inside an innermost kernel loop allocates per element: hoist a reusable scratch buffer (§3.4 simple types)", b.Name())
 					}
 				}
+				checkHiddenAlloc(pass, e)
 			}
 		}
 		return true
 	})
+}
+
+// checkHiddenAlloc flags calls from a kernel loop to module-internal
+// functions whose direct body allocates at a guard-free position — the
+// allocation hidden one call deep (call-graph summary allocatesDirect).
+func checkHiddenAlloc(pass *Pass, call *ast.CallExpr) {
+	fn, ok := calleeObject(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	g := pass.Graph()
+	if !g.internalPath(fn.Pkg().Path()) || g.nodeFor(fn) == nil {
+		return
+	}
+	ai := g.allocatesDirect(fn)
+	if ai == nil {
+		return
+	}
+	pass.ReportWitness(call.Pos(), []string{
+		withPos(g, call.Pos(), "kernel loop calls "+funcLabel(fn)),
+		withPos(g, ai.pos, funcLabel(fn)+" "+ai.desc+" on every call"),
+	}, "call to %s inside an innermost kernel loop hides an allocation one call deep (%s at %s): hoist it or pass scratch in (§3.4 simple types)",
+		funcLabel(fn), ai.desc, g.posStr(ai.pos))
 }
 
 // isStringByteConversion reports whether the single-argument conversion call

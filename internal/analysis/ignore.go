@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -9,12 +11,18 @@ import (
 type ignoreDirective struct {
 	file      string
 	line      int
+	pos       token.Position
 	analyzers []string
+	reason    string
+	// used flips when the directive suppresses at least one diagnostic; a
+	// directive that stays unused across a run of every analyzer it names is
+	// stale and reported as such.
+	used bool
 }
 
 // ignoreIndex indexes a package's suppression directives.
 type ignoreIndex struct {
-	directives []ignoreDirective
+	directives []*ignoreDirective
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -59,8 +67,9 @@ func collectIgnores(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) *i
 					continue
 				}
 				p := pkg.Fset.Position(c.Pos())
-				idx.directives = append(idx.directives, ignoreDirective{
-					file: p.Filename, line: p.Line, analyzers: names,
+				idx.directives = append(idx.directives, &ignoreDirective{
+					file: p.Filename, line: p.Line, pos: p, analyzers: names,
+					reason: strings.Join(fields[1:], " "),
 				})
 			}
 		}
@@ -70,6 +79,7 @@ func collectIgnores(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) *i
 
 // suppressed reports whether d is covered by a directive: same file, same
 // analyzer, on the diagnostic's line (trailing comment) or the line above.
+// A match marks the directive used.
 func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
 	for _, dir := range idx.directives {
 		if dir.file != d.Position.Filename {
@@ -80,9 +90,42 @@ func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
 		}
 		for _, n := range dir.analyzers {
 			if n == d.Analyzer {
+				dir.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// reportStale reports every directive that suppressed nothing even though all
+// the analyzers it names were part of this run. Directives naming an analyzer
+// outside the run are skipped: a fixture run of a single analyzer must not
+// condemn suppressions belonging to the others.
+func (idx *ignoreIndex) reportStale(ran []*Analyzer, diags *[]Diagnostic) {
+	inRun := map[string]bool{}
+	for _, a := range ran {
+		inRun[a.Name] = true
+	}
+	for _, dir := range idx.directives {
+		if dir.used {
+			continue
+		}
+		all := true
+		for _, n := range dir.analyzers {
+			if !inRun[n] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "simlint",
+			Position: dir.pos,
+			Message: fmt.Sprintf("stale //lint:ignore %s suppressed no diagnostic (reason was: %q) — delete it",
+				strings.Join(dir.analyzers, ","), dir.reason),
+		})
+	}
 }

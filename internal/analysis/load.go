@@ -24,6 +24,14 @@ type Package struct {
 	Syntax []*ast.File
 	Types  *types.Package
 	Info   *types.Info
+
+	// loader links back to the Loader that produced the unit, giving the
+	// interprocedural layer access to the syntax and type info of the
+	// module-internal packages this unit imports (Loader.pureUnits).
+	loader *Loader
+	// cg caches the unit's call graph (built lazily by the first analyzer
+	// that asks; see callgraph.go).
+	cg *callGraph
 }
 
 // Loader parses and type-checks module packages with the standard library
@@ -40,6 +48,11 @@ type Loader struct {
 	// what a dependant is allowed to see (this is what breaks the apparent
 	// cycle between a package's test files and packages importing it).
 	pure map[string]*pureEntry
+	// pureUnits keeps the syntax and type info of each pure package so the
+	// interprocedural layer (callgraph.go) can summarize function bodies of
+	// module-internal dependencies. Keyed by import path; populated by
+	// importPure alongside l.pure.
+	pureUnits map[string]*Package
 }
 
 type pureEntry struct {
@@ -65,6 +78,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pure:       map[string]*pureEntry{},
+		pureUnits:  map[string]*Package{},
 	}, nil
 }
 
@@ -257,7 +271,7 @@ func (l *Loader) loadDir(dir, path string) ([]*Package, error) {
 		units = append(units, &Package{
 			Path: path, Fset: l.fset,
 			Syntax: append(append([]*ast.File{}, src...), tests...),
-			Types:  pkg, Info: info,
+			Types:  pkg, Info: info, loader: l,
 		})
 	}
 	if len(xtests) > 0 {
@@ -267,7 +281,7 @@ func (l *Loader) loadDir(dir, path string) ([]*Package, error) {
 			return nil, fmt.Errorf("%s_test: %w", path, err)
 		}
 		units = append(units, &Package{
-			Path: path, Fset: l.fset, Syntax: xtests, Types: pkg, Info: info,
+			Path: path, Fset: l.fset, Syntax: xtests, Types: pkg, Info: info, loader: l,
 		})
 	}
 	return units, nil
@@ -315,9 +329,19 @@ func (l *Loader) importPure(path string) (*types.Package, error) {
 		err = fmt.Errorf("analysis: no Go source in %s", path)
 	}
 	var pkg *types.Package
+	info := newInfo()
 	if err == nil {
-		pkg, err = l.check(path, src, newInfo())
+		pkg, err = l.check(path, src, info)
 	}
 	l.pure[path] = &pureEntry{pkg: pkg, err: err}
+	if err == nil {
+		// Keep the checked bodies: the call graph summarizes functions of
+		// module-internal dependencies through this cache. Object identity
+		// lines up with dependants because their imports resolve to this
+		// same *types.Package.
+		l.pureUnits[path] = &Package{
+			Path: path, Fset: l.fset, Syntax: src, Types: pkg, Info: info, loader: l,
+		}
+	}
 	return pkg, err
 }

@@ -1,0 +1,704 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// --- lock identity ----------------------------------------------------------
+
+// lockKey names a mutex field-sensitively but instance-insensitively:
+// "pkg/path.Type.field" for struct fields (every instance of the type shares
+// the key), "pkg/path.var" for package-level mutexes, "local:name@off" for
+// function-local ones. Instance-insensitivity is the documented soundness
+// trade: two distinct *Store values lock "different" mutexes at runtime, but
+// the analyzers treat them as one — fine for ordering (a self-edge on a key a
+// function re-acquires through a call chain is exactly the lsm/cache hazard)
+// and conservative everywhere else.
+type lockKey string
+
+// short trims the package path down to its last element for messages.
+func (k lockKey) short() string {
+	s := string(k)
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+		}
+	}
+	if slash >= 0 {
+		return s[slash+1:]
+	}
+	return s
+}
+
+// lockOp is one classified sync.Mutex/RWMutex call.
+type lockOp struct {
+	key     lockKey
+	acquire bool // Lock/RLock vs Unlock/RUnlock
+	read    bool // RLock/RUnlock
+	pos     token.Pos
+	method  string
+}
+
+// classifyLockCall recognizes calls to the four sync.(RW)Mutex lock methods
+// and resolves the receiver to a lock key. TryLock/TryRLock are deliberately
+// ignored: their acquisition is conditional on the result, which this
+// AST-level walker cannot track.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil
+	}
+	op := lockOp{pos: call.Pos(), method: sel.Sel.Name}
+	switch sel.Sel.Name {
+	case "Lock":
+		op.acquire = true
+	case "RLock":
+		op.acquire, op.read = true, true
+	case "Unlock":
+	case "RUnlock":
+		op.read = true
+	default:
+		return nil
+	}
+	key, ok := lockKeyForRecv(info, sel)
+	if !ok {
+		return nil
+	}
+	op.key = key
+	return &op
+}
+
+// lockKeyForRecv derives the lock key for the receiver of a mutex method
+// call, handling direct fields (s.mu.Lock), promoted embedded mutexes
+// (s.Lock with an embedded sync.Mutex), package-level mutexes, and locals.
+func lockKeyForRecv(info *types.Info, sel *ast.SelectorExpr) (lockKey, bool) {
+	// Promoted embedded mutex: the selection's index path runs through the
+	// embedding struct; key on the outermost named type plus the embedded
+	// field's name.
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		if named := namedOf(s.Recv()); named != nil {
+			if st, ok := derefType(s.Recv()).Underlying().(*types.Struct); ok {
+				f := st.Field(s.Index()[0])
+				return lockKey(qualifiedName(named) + "." + f.Name()), true
+			}
+		}
+	}
+	return lockKeyFor(info, sel.X)
+}
+
+// lockKeyFor derives the key for a mutex-valued expression.
+func lockKeyFor(info *types.Info, expr ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named := namedOf(s.Recv()); named != nil {
+				return lockKey(qualifiedName(named) + "." + e.Sel.Name), true
+			}
+		}
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			!obj.IsField() && obj.Parent() == obj.Pkg().Scope() {
+			return lockKey(obj.Pkg().Path() + "." + obj.Name()), true
+		}
+	case *ast.Ident:
+		if obj, ok := firstUseOrDef(info, e).(*types.Var); ok {
+			if obj.Pkg() != nil && !obj.IsField() && obj.Parent() == obj.Pkg().Scope() {
+				return lockKey(obj.Pkg().Path() + "." + obj.Name()), true
+			}
+			return lockKey(fmt.Sprintf("local:%s@%d", obj.Name(), obj.Pos())), true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockKeyFor(info, e.X)
+		}
+	}
+	return "", false
+}
+
+func firstUseOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// namedOf unwraps pointers and returns the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func qualifiedName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// --- lock-flow walker -------------------------------------------------------
+
+// heldLock is one lock in the abstract lockset.
+type heldLock struct {
+	op       lockOp
+	deferred bool // a defer releasing this key has been registered
+	// risky is the first call observed inside a manually-released critical
+	// section that could panic before the unlock runs (anything but builtins,
+	// sync/atomic ops, and conversions). Consumed by unlockpath.
+	risky    *ast.CallExpr
+	riskyPos token.Pos
+}
+
+func (h *heldLock) clone() *heldLock {
+	c := *h
+	return &c
+}
+
+// lockState is the abstract state: the set of (possibly) held locks.
+type lockState map[lockKey]*heldLock
+
+func (st lockState) clone() lockState {
+	c := make(lockState, len(st))
+	for k, v := range st {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// merge unions other into st (may-be-held semantics). A lock deferred on one
+// branch but manual on another stays manual — the pessimistic choice.
+func (st lockState) merge(other lockState) {
+	for k, v := range other {
+		cur, ok := st[k]
+		if !ok {
+			st[k] = v.clone()
+			continue
+		}
+		if cur.deferred && !v.deferred {
+			st[k] = v.clone()
+		}
+		if cur.risky == nil && v.risky != nil {
+			cur.risky, cur.riskyPos = v.risky, v.riskyPos
+		}
+	}
+}
+
+// flowHooks are the analyzer callbacks of the walker. All are optional.
+type flowHooks struct {
+	// onAcquire fires at each Lock/RLock, with the lockset held BEFORE the
+	// acquisition takes effect.
+	onAcquire func(op lockOp, held lockState)
+	// onRelease fires at each manual Unlock/RUnlock of a held lock.
+	onRelease func(op lockOp, h *heldLock)
+	// onExit fires at each path exit (return, panic, end of function, end of
+	// a loop iteration that acquired a lock) with the then-held lockset.
+	onExit func(pos token.Pos, cause string, held lockState)
+	// onCall fires at each non-lock call expression.
+	onCall func(call *ast.CallExpr, deferred bool, held lockState, loopDepth int)
+	// onBlock fires at each syntactically blocking channel operation:
+	// a send, a receive, or a select without a default clause.
+	onBlock func(pos token.Pos, desc string, held lockState)
+}
+
+// flowWalker is a may-analysis over one function body. It approximates
+// control flow directly on the AST: branch states are cloned and unioned,
+// return/panic terminate a path, a loop body is walked once against a cloned
+// entry state (with an exit event for locks still held at the iteration's
+// end), and `for { ... }` with no break terminates the path. Bodies of
+// nested func literals and `go` statements run on other stacks or at other
+// times and are skipped; defer statements register releases.
+type flowWalker struct {
+	info      *types.Info
+	hooks     flowHooks
+	loopDepth int
+	panicked  bool // set when scanning an expression hit panic(...)
+}
+
+// walkFuncFlow runs the walker over fn's body.
+func walkFuncFlow(info *types.Info, body *ast.BlockStmt, hooks flowHooks) {
+	w := &flowWalker{info: info, hooks: hooks}
+	st := lockState{}
+	if !w.stmts(body.List, st) {
+		w.exit(body.Rbrace, "end of function", st)
+	}
+}
+
+func (w *flowWalker) exit(pos token.Pos, cause string, st lockState) {
+	if w.hooks.onExit != nil {
+		w.hooks.onExit(pos, cause, st)
+	}
+}
+
+// stmts walks a statement list; the return value reports whether the path
+// terminated (return, panic, or an endless loop).
+func (w *flowWalker) stmts(list []ast.Stmt, st lockState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement, mutating st; reports path termination.
+func (w *flowWalker) stmt(s ast.Stmt, st lockState) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, st, false)
+		if w.panicked {
+			w.panicked = false
+			w.exit(s.Pos(), "panic", st)
+			return true
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, st, false)
+		}
+		w.exit(s.Pos(), "return", st)
+		return true
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+		return false
+	case *ast.GoStmt:
+		// The spawned goroutine's body runs on another stack; only the call's
+		// arguments are evaluated here.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, st, false)
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st, false)
+		thenSt := st.clone()
+		thenTerm := w.stmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(st, elseSt)
+		case elseTerm:
+			replace(st, thenSt)
+		default:
+			replace(st, thenSt)
+			st.merge(elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st, false)
+		}
+		w.loopDepth++
+		body := st.clone()
+		w.stmt(s.Body, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		w.loopDepth--
+		w.loopEndCheck(s.Body.Rbrace, st, body)
+		// `for { ... }` with no way out of the loop terminates the path.
+		return s.Cond == nil && !loopHasBreak(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st, false)
+		w.loopDepth++
+		body := st.clone()
+		w.stmt(s.Body, body)
+		w.loopDepth--
+		w.loopEndCheck(s.Body.Rbrace, st, body)
+		return false
+	case *ast.SelectStmt:
+		return w.selectStmt(s, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st, false)
+		}
+		return w.caseClauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current straight-line path. Treating
+		// them as termination under-approximates the code after the loop, a
+		// deliberate may-analysis simplification.
+		return s.Tok != token.FALLTHROUGH
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, st, true)
+		w.scanExpr(s.Value, st, false)
+		if w.hooks.onBlock != nil {
+			w.hooks.onBlock(s.Pos(), "channel send", st)
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.scanExpr(r, st, false)
+		}
+		for _, l := range s.Lhs {
+			w.scanExpr(l, st, false)
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st, false)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st, false)
+		return false
+	default:
+		return false
+	}
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// loopEndCheck fires an exit event for locks acquired inside the loop body
+// and still manually held when an iteration ends — the next iteration would
+// re-acquire them.
+func (w *flowWalker) loopEndCheck(rbrace token.Pos, entry, body lockState) {
+	for k, h := range body {
+		if _, pre := entry[k]; pre || h.deferred {
+			continue
+		}
+		w.exit(rbrace, "end of loop iteration", lockState{k: h})
+	}
+	// After the loop the entry state stands (zero-iteration approximation);
+	// nothing to merge back.
+}
+
+func (w *flowWalker) selectStmt(s *ast.SelectStmt, st lockState) bool {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && w.hooks.onBlock != nil {
+		w.hooks.onBlock(s.Pos(), "select without default", st)
+	}
+	var states []lockState
+	allTerm := len(s.Body.List) > 0
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cs := st.clone()
+		if cc.Comm != nil {
+			// The comm op's channel expressions; its send/recv is already
+			// accounted for by the select-level block event.
+			w.commExprs(cc.Comm, cs)
+		}
+		if !w.stmts(cc.Body, cs) {
+			allTerm = false
+			states = append(states, cs)
+		}
+	}
+	if allTerm {
+		return true
+	}
+	if len(states) > 0 {
+		replace(st, states[0])
+		for _, other := range states[1:] {
+			st.merge(other)
+		}
+	}
+	return false
+}
+
+// commExprs scans the expressions of a select comm statement with channel
+// operations muted.
+func (w *flowWalker) commExprs(comm ast.Stmt, st lockState) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		w.scanExpr(c.Chan, st, true)
+		w.scanExpr(c.Value, st, true)
+	case *ast.AssignStmt:
+		for _, r := range c.Rhs {
+			w.scanExpr(r, st, true)
+		}
+	case *ast.ExprStmt:
+		w.scanExpr(c.X, st, true)
+	}
+}
+
+func (w *flowWalker) caseClauses(body *ast.BlockStmt, st lockState, hasDefault bool) bool {
+	var states []lockState
+	allTerm := len(body.List) > 0
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cs := st.clone()
+		for _, e := range cc.List {
+			w.scanExpr(e, cs, false)
+		}
+		if !w.stmts(cc.Body, cs) {
+			allTerm = false
+			states = append(states, cs)
+		}
+	}
+	if !hasDefault {
+		// No default: the whole switch may fall through untouched.
+		allTerm = false
+		states = append(states, st.clone())
+	}
+	if allTerm {
+		return true
+	}
+	if len(states) > 0 {
+		replace(st, states[0])
+		for _, other := range states[1:] {
+			st.merge(other)
+		}
+	}
+	return false
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// loopHasBreak reports whether body contains a break targeting this loop
+// (unlabeled breaks inside nested for/range/switch/select target those).
+func loopHasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// An unlabeled break inside targets the switch/select; a labeled
+			// one may target our loop — keep it conservative and treat any
+			// labeled break in there as an exit.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BranchStmt); ok && b.Tok == token.BREAK && b.Label != nil {
+					found = true
+				}
+				_, isLit := m.(*ast.FuncLit)
+				return !found && !isLit
+			})
+			return false
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+			return false
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// deferStmt registers a deferred call: a deferred Unlock marks the key
+// released-on-all-paths; a deferred func literal is scanned for unlocks it
+// performs; other deferred calls are surfaced through onCall.
+func (w *flowWalker) deferStmt(s *ast.DeferStmt, st lockState) {
+	for _, a := range s.Call.Args {
+		w.scanExpr(a, st, false)
+	}
+	if op := classifyLockCall(w.info, s.Call); op != nil {
+		if !op.acquire {
+			if h, ok := st[op.key]; ok {
+				h.deferred = true
+			}
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := classifyLockCall(w.info, call); op != nil && !op.acquire {
+				if h, ok := st[op.key]; ok {
+					h.deferred = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	if w.hooks.onCall != nil {
+		w.hooks.onCall(s.Call, true, st, w.loopDepth)
+	}
+}
+
+// scanExpr visits an expression for lock operations, calls, panics, and
+// channel receives. muteChanOps suppresses receive events (used for select
+// comm clauses, whose blocking is reported at the select). Func literal
+// bodies are skipped: they execute elsewhere.
+func (w *flowWalker) scanExpr(e ast.Expr, st lockState, muteChanOps bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !muteChanOps {
+				if w.hooks.onBlock != nil {
+					w.hooks.onBlock(x.Pos(), "channel receive", st)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			// Arguments and nested calls are visited by Inspect; classify
+			// this call itself.
+			if op := classifyLockCall(w.info, x); op != nil {
+				w.applyLockOp(*op, st)
+				return true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+					w.panicked = true
+					return true
+				}
+			}
+			if w.hooks.onCall != nil {
+				w.hooks.onCall(x, false, st, w.loopDepth)
+			}
+			// Track the panic hazard for manually-released sections.
+			if !isPanicSafeCall(w.info, x) {
+				for _, h := range st {
+					if !h.deferred && h.risky == nil {
+						h.risky, h.riskyPos = x, x.Pos()
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// applyLockOp updates the lockset for one classified lock call.
+func (w *flowWalker) applyLockOp(op lockOp, st lockState) {
+	if op.acquire {
+		if w.hooks.onAcquire != nil {
+			w.hooks.onAcquire(op, st)
+		}
+		st[op.key] = &heldLock{op: op}
+		return
+	}
+	if h, ok := st[op.key]; ok {
+		if w.hooks.onRelease != nil {
+			w.hooks.onRelease(op, h)
+		}
+		delete(st, op.key)
+	}
+}
+
+// isPanicSafeCall reports whether a call cannot realistically panic before a
+// manual Unlock runs: builtins (except close on a closed channel — still
+// treated safe, the caller controls it), sync/atomic operations, sync lock
+// ops, recover, and type conversions.
+func isPanicSafeCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return true
+		}
+		if _, ok := info.Uses[fun].(*types.TypeName); ok {
+			return true // conversion
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sync/atomic", "sync":
+				return true
+			}
+		}
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StructType, *ast.FuncType:
+		return true // conversion via type literal
+	}
+	return false
+}

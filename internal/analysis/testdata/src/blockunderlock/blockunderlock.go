@@ -1,0 +1,81 @@
+// Package distrib is a blockunderlock fixture: it is loaded under the
+// import path simsearch/internal/distrib so the serving-scoped analyzer
+// fires. Search acquires mu, making mu serving-reachable; bg is held only
+// by background maintenance and stays exempt. The fixture seeds every
+// blocking shape — a channel receive, a select without default, a direct
+// time.Sleep, and a sleep hidden one call deep — plus the non-blocking
+// select-with-default and the background-lock sleep that must stay silent.
+package distrib
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct {
+	mu sync.Mutex
+	bg sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Search is the serving entry point: its lockset makes mu serving-reachable.
+func (n *node) Search() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.n
+}
+
+// recvUnderLock parks every concurrent Search behind a channel peer.
+func (n *node) recvUnderLock() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return <-n.ch // want "channel receive while holding .* blocks the serving path"
+}
+
+// waitUnderLock blocks in a select with no default while holding mu.
+func (n *node) waitUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "select without default while holding .* blocks the serving path"
+	case v := <-n.ch:
+		n.n = v
+	}
+}
+
+// sleepUnderLock stalls the serving path for the full sleep.
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep may block"
+	n.mu.Unlock()
+}
+
+// drain blocks one call deep: push sleeps, and the callee summary carries
+// that fact back to the caller holding mu.
+func (n *node) drain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.push() // want "call to distrib.node.push may block"
+}
+
+func (n *node) push() {
+	time.Sleep(time.Millisecond)
+}
+
+// compact sleeps under bg, which no serving entry point acquires: exempt.
+func (n *node) compact() {
+	n.bg.Lock()
+	defer n.bg.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// tryDrain polls with a default case — non-blocking, legal under mu.
+func (n *node) tryDrain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case v := <-n.ch:
+		n.n = v
+	default:
+	}
+}

@@ -1,0 +1,99 @@
+// Package exec is a goleak fixture: it is loaded under the import path
+// simsearch/internal/exec so the serving-scoped analyzer fires. It seeds
+// goroutines with no shutdown signal — a bare loop, one that only closes a
+// channel (signaling others is not observing), and a named callee with no
+// signal — plus every blessed shape: a done-channel receive, a context in
+// the body, a signal handed through the launch arguments, a WaitGroup, and
+// an observing named callee.
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+type mgr struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+	n    int
+}
+
+func work() {}
+
+// leak spins forever with nothing to tell it to stop.
+func (m *mgr) leak() {
+	go func() { // want "never observes a shutdown signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// closer closes done when it finishes, but close() signals the others — it
+// never unblocks the closer, so this goroutine still has no exit signal.
+func (m *mgr) closer() {
+	go func() { // want "never observes a shutdown signal"
+		work()
+		close(m.done)
+	}()
+}
+
+// bgLeak launches a named method whose summary observes nothing.
+func (m *mgr) bgLeak() {
+	go m.spin() // want "never observes a shutdown signal"
+}
+
+func (m *mgr) spin() {
+	for {
+		work()
+	}
+}
+
+// watcher selects on the done channel: observed, bounded, legal.
+func (m *mgr) watcher() {
+	go func() {
+		for {
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// run mentions the context in the body — ctx.Done() is the signal.
+func (m *mgr) run(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		m.n++
+	}()
+}
+
+// spawn hands the context in through the launch arguments; pump observes it.
+func (m *mgr) spawn(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// tracked is WaitGroup-bounded: Close can Wait for it.
+func (m *mgr) tracked() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		work()
+	}()
+}
+
+// bg launches a named method whose own body receives from done.
+func (m *mgr) bg() {
+	go m.loop()
+}
+
+func (m *mgr) loop() {
+	<-m.done
+}

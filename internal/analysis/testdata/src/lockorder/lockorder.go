@@ -1,0 +1,67 @@
+// Package lsm is a lockorder fixture: it is loaded under the import path
+// simsearch/internal/lsm so the serving-scoped analyzer fires. It seeds the
+// two hazards — a two-lock acquisition cycle and a self-re-acquisition,
+// both direct and through a callee — plus a cleanly ordered pair that must
+// stay silent.
+package lsm
+
+import "sync"
+
+type store struct {
+	mu  sync.Mutex
+	cmu sync.Mutex
+	wmu sync.Mutex
+	n   int
+}
+
+// insert acquires mu then cmu; compact acquires cmu then mu. Together the
+// acquired-before relation is cyclic, and the report anchors on the
+// lexically first edge — the cmu acquisition below.
+func (s *store) insert() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cmu.Lock() // want "lock-order cycle"
+	defer s.cmu.Unlock()
+	s.n++
+}
+
+func (s *store) compact() {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// double re-acquires a key it already holds: guaranteed self-deadlock.
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "re-acquires .* while already holding it"
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// flush holds mu and calls a helper that takes mu again — the same
+// self-deadlock one call deep, found through the callee's lockset summary.
+func (s *store) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reindex() // want "the callee re-acquires it"
+}
+
+func (s *store) reindex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// orderedOK acquires mu then wmu; nothing acquires them in the reverse
+// order, so the pair is a clean partial order and stays silent.
+func (s *store) orderedOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.n++
+}

@@ -1,0 +1,45 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBareAfter sleeps through a timer channel — time.Sleep in disguise.
+func TestBareAfter(t *testing.T) {
+	<-time.After(time.Millisecond) // want "bare <-time.After in test"
+}
+
+// TestSingleCaseAfter wraps the bare receive in a one-case select, which
+// is the same sleep: there is no real event to race the timer against.
+func TestSingleCaseAfter(t *testing.T) {
+	select {
+	case <-time.After(time.Millisecond): // want "bare <-time.After in test"
+	}
+}
+
+// TestTick polls on a leaked ticker.
+func TestTick(t *testing.T) {
+	for range time.Tick(time.Millisecond) { // want "time.Tick in test"
+		return
+	}
+}
+
+// TestNewTicker polls on an explicit ticker.
+func TestNewTicker(t *testing.T) {
+	tk := time.NewTicker(time.Millisecond) // want "time.NewTicker in test"
+	defer tk.Stop()
+	<-tk.C
+}
+
+// TestDeadlineGuard is the legal idiom: select on the real event with the
+// timer only as a failure bound.
+func TestDeadlineGuard(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("timed out")
+	}
+}

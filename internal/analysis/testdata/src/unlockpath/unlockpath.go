@@ -1,0 +1,80 @@
+// Package cache is an unlockpath fixture: it is loaded under the import
+// path simsearch/internal/cache so the serving-scoped analyzer fires. It
+// seeds the leak shapes — an early return while held, a fall-off-the-end
+// leak, a lock that survives a loop iteration, and a manual critical
+// section with a panic-capable call — plus the clean defer and the safe
+// manual section that must stay silent.
+package cache
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// earlyReturn leaks mu on the ok path: the return exits with the lock held
+// and no defer registered.
+func (b *box) earlyReturn(ok bool) int {
+	b.mu.Lock() // want "not released on the return path"
+	if ok {
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// forgets never releases at all; the end of the function is a path too.
+func (b *box) forgets() {
+	b.mu.Lock() // want "not released on the end of function path"
+	b.n++
+}
+
+// rlockEarly leaks the read lock the same way — RLock counts.
+func (b *box) rlockEarly(ok bool) int {
+	b.rw.RLock() // want "not released on the return path"
+	if ok {
+		return b.n
+	}
+	b.rw.RUnlock()
+	return 0
+}
+
+// lockInLoop releases only on even iterations: the end of an odd iteration
+// re-enters the loop header with the lock still held.
+func (b *box) lockInLoop(n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock() // want "not released on the end of loop iteration path"
+		if i&1 == 0 {
+			b.mu.Unlock()
+		}
+	}
+}
+
+// manualRisky releases manually, but the call in between can panic —
+// panics count as paths, and that path leaks the lock.
+func (b *box) manualRisky() {
+	b.mu.Lock() // want "can panic and leak the lock"
+	b.refresh()
+	b.mu.Unlock()
+}
+
+func (b *box) refresh() {
+	b.n++
+}
+
+// cleanDefer is the blessed shape: every path, panics included, releases.
+func (b *box) cleanDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// manualSafe is a manual critical section with nothing that can panic
+// between Lock and Unlock — legal, if brittle.
+func (b *box) manualSafe() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

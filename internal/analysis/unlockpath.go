@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnlockPath enforces that every Lock()/RLock() in the concurrent serving
+// packages is provably released on every path out of the function — and
+// panics count as paths. Two findings:
+//
+//   - a path (return, panic, end of function, or the end of a loop
+//     iteration that took the lock) is reached with the lock still held and
+//     no defer registered for it;
+//   - the critical section is released manually but contains a call that
+//     could panic before the Unlock runs (builtins, sync/atomic ops, and
+//     conversions are exempt) — the panic path leaks the lock, so the
+//     release must move to a defer.
+//
+// The walker is a may-analysis directly on the AST: helper functions that
+// lock in one function and unlock in another are outside its model and need
+// a reasoned //lint:ignore (none exist in this repo).
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "every Lock/RLock must be released on all paths out of the function — panics count as paths, so prefer defer Unlock",
+	Run:  runUnlockPath,
+}
+
+func runUnlockPath(pass *Pass) {
+	if !servingScope(pass.Path) {
+		return
+	}
+	g := pass.Graph()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnlockPaths(pass, g, fd)
+		}
+	}
+}
+
+func checkUnlockPaths(pass *Pass, g *callGraph, fd *ast.FuncDecl) {
+	reported := map[token.Pos]bool{}
+	report := func(acqPos token.Pos, witness []string, format string, args ...interface{}) {
+		if reported[acqPos] {
+			return
+		}
+		reported[acqPos] = true
+		pass.ReportWitness(acqPos, witness, format, args...)
+	}
+	walkFuncFlow(pass.Info, fd.Body, flowHooks{
+		onExit: func(pos token.Pos, cause string, held lockState) {
+			for k, h := range held {
+				if h.deferred {
+					continue
+				}
+				report(h.op.pos, []string{
+					withPos(g, h.op.pos, k.short()+"."+h.op.method+" here"),
+					withPos(g, pos, cause+" with the lock still held"),
+				}, "%s.%s is not released on the %s path at %s: add defer %s.%s",
+					k.short(), h.op.method, cause, g.posStr(pos), k.short(), unlockName(h.op))
+			}
+		},
+		onRelease: func(op lockOp, h *heldLock) {
+			if h.deferred || h.risky == nil {
+				return
+			}
+			report(h.op.pos, []string{
+				withPos(g, h.op.pos, op.key.short()+"."+h.op.method+" here"),
+				withPos(g, h.riskyPos, "call to "+callDesc(pass.Info, h.risky)+" can panic with the lock held"),
+				withPos(g, op.pos, "manual "+op.method+" never runs on that panic path"),
+			}, "%s is released manually, but the call to %s at %s between %s and %s can panic and leak the lock: use defer %s.%s",
+				op.key.short(), callDesc(pass.Info, h.risky), g.posStr(h.riskyPos),
+				h.op.method, op.method, op.key.short(), unlockName(h.op))
+		},
+	})
+}
+
+func withPos(g *callGraph, pos token.Pos, s string) string {
+	return s + " (" + g.posStr(pos) + ")"
+}
+
+func unlockName(op lockOp) string {
+	if op.read {
+		return "RUnlock()"
+	}
+	return "Unlock()"
+}
+
+// callDesc renders a short name for the called function.
+func callDesc(info *types.Info, call *ast.CallExpr) string {
+	if fn, ok := calleeObject(info, call).(*types.Func); ok {
+		return funcLabel(fn)
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "a function value"
+}

@@ -304,23 +304,35 @@ func (c *Cache) SearchContext(ctx context.Context, q core.Query) ([]core.Match, 
 // join returns the flight answering key, creating (and launching) it if none
 // is running. A flight whose last waiter has already given up is treated as
 // absent: its result — inevitably a context error — must not leak to a
-// fresh caller.
+// fresh caller. The fresh flight (context included) is built before fmu is
+// taken, so register's critical section is pure map-and-atomic work under a
+// defer: nothing in it can panic with the lock held.
 func (c *Cache) join(key string, q core.Query) *flight {
-	c.fmu.Lock()
-	if f, ok := c.flights[key]; ok && f.refs.Load() > 0 {
-		f.refs.Add(1)
-		c.fmu.Unlock()
+	fctx, cancel := context.WithCancel(context.Background())
+	nf := &flight{done: make(chan struct{}), cancel: cancel}
+	nf.refs.Store(1)
+	f, joined := c.register(key, nf)
+	if joined {
+		cancel() // discard the speculative flight's context
 		c.coalesced.Inc()
 		return f
 	}
-	fctx, cancel := context.WithCancel(context.Background())
-	f := &flight{done: make(chan struct{}), cancel: cancel}
-	f.refs.Store(1)
-	c.flights[key] = f
-	c.fmu.Unlock()
 	c.misses.Inc()
-	go c.run(fctx, key, f, q)
-	return f
+	go c.run(fctx, key, nf, q)
+	return nf
+}
+
+// register installs nf under key, unless a live flight already answers key —
+// then it joins that one (refcount bumped under the same lock that read it).
+func (c *Cache) register(key string, nf *flight) (f *flight, joined bool) {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if f, ok := c.flights[key]; ok && f.refs.Load() > 0 {
+		f.refs.Add(1)
+		return f, true
+	}
+	c.flights[key] = nf
+	return nf, false
 }
 
 // run executes the engine search for one flight and broadcasts the result.

@@ -351,6 +351,7 @@ func (st *Store) Insert(s string) (int32, bool, error) {
 	}
 	st.seq++
 	if st.wal != nil {
+		//lint:ignore blockunderlock WAL-before-apply durability: the write lock must cover the append so no reader observes unlogged state; cost is one buffered-record write, bounded by walFlushEvery
 		if err := st.wal.append(walRec{seq: st.seq, id: id, s: s, live: true}); err != nil {
 			st.seq--
 			return 0, false, err
@@ -360,6 +361,7 @@ func (st *Store) Insert(s string) (int32, bool, error) {
 	st.live++
 	st.version.Add(1)
 	if st.delta.size() >= st.flushLimit {
+		//lint:ignore blockunderlock the segment file must be written before the WAL is reset and before any reader sees the rotated delta, so the flush stays under the write lock; amortized to every FlushLimit-th write
 		if err := st.flushLocked(); err != nil {
 			return id, true, err
 		}
@@ -381,6 +383,7 @@ func (st *Store) Delete(s string) (bool, error) {
 	}
 	st.seq++
 	if st.wal != nil {
+		//lint:ignore blockunderlock WAL-before-apply durability: the write lock must cover the append so no reader observes unlogged state; cost is one buffered-record write, bounded by walFlushEvery
 		if err := st.wal.append(walRec{seq: st.seq, id: id, s: s, live: false}); err != nil {
 			st.seq--
 			return false, err
@@ -390,6 +393,7 @@ func (st *Store) Delete(s string) (bool, error) {
 	st.live--
 	st.version.Add(1)
 	if st.delta.size() >= st.flushLimit {
+		//lint:ignore blockunderlock the segment file must be written before the WAL is reset and before any reader sees the rotated delta, so the flush stays under the write lock; amortized to every FlushLimit-th write
 		if err := st.flushLocked(); err != nil {
 			return true, err
 		}
@@ -418,6 +422,7 @@ func (st *Store) Flush() error {
 	if st.closed {
 		return ErrClosed
 	}
+	//lint:ignore blockunderlock an explicit Flush trades one segment write under the lock for the freeze being atomic with respect to concurrent searches; same contract as the size-triggered flush in Insert/Delete
 	return st.flushLocked()
 }
 
@@ -557,21 +562,7 @@ func (st *Store) SearchContext(ctx context.Context, q core.Query) ([]core.Match,
 	}
 	p := edit.CompileMyers(q.Text)
 
-	// One read-locked capture keeps the snapshot atomic: the segment list,
-	// the shadow set of every delta-owned id, and the delta scan itself.
-	// (A flush moving entries from delta to a new segment between those
-	// reads would otherwise drop or double-count ids.)
-	st.mu.RLock()
-	segs := st.segs
-	var shadow map[int32]struct{}
-	if n := len(st.delta.ops); n > 0 {
-		shadow = make(map[int32]struct{}, n)
-		for id := range st.delta.ops {
-			shadow[id] = struct{}{}
-		}
-	}
-	out, ok := st.scanDeltaLocked(p, q.K, cancel)
-	st.mu.RUnlock()
+	segs, shadow, out, ok := st.snapshotScan(p, q.K, cancel)
 	if !ok {
 		return nil, ctx.Err()
 	}
@@ -592,6 +583,26 @@ func (st *Store) SearchContext(ctx context.Context, q core.Query) ([]core.Match,
 		}
 	}
 	return mergeRuns(out), nil
+}
+
+// snapshotScan captures, under one read lock, everything SearchContext needs
+// atomically: the segment list, the shadow set of every delta-owned id, and
+// the delta scan itself. (A flush moving entries from delta to a new segment
+// between those reads would otherwise drop or double-count ids.) The lock is
+// defer-released so a panicking comparison kernel cannot leak st.mu and
+// wedge every writer behind a dead reader.
+func (st *Store) snapshotScan(p *edit.MyersPattern, k int, cancel <-chan struct{}) (segs []*segment, shadow map[int32]struct{}, out []core.Match, ok bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	segs = st.segs
+	if n := len(st.delta.ops); n > 0 {
+		shadow = make(map[int32]struct{}, n)
+		for id := range st.delta.ops {
+			shadow[id] = struct{}{}
+		}
+	}
+	out, ok = st.scanDeltaLocked(p, k, cancel)
+	return segs, shadow, out, ok
 }
 
 // shadowedByNewer reports whether any newer segment covers id (live or

@@ -21,14 +21,17 @@ echo "== vet =="
 go vet ./...
 
 echo "== lint =="
-# The repo's own invariant analyzers; `-json` available for tooling.
-go run ./cmd/simlint ./...
+# The repo's own invariant analyzers, including the interprocedural
+# concurrency suite (lockorder, unlockpath, blockunderlock, goleak).
+# Malformed and stale //lint:ignore directives are findings, so they fail
+# CI here too. lint.json is the machine-readable findings artifact.
+go run ./cmd/simlint -report lint.json ./...
 
 echo "== test =="
 go test ./...
 
 echo "== race =="
-go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router
+go test -race ./internal/pool ./internal/exec ./internal/cache ./internal/httpapi ./internal/scan ./internal/metrics ./internal/bench ./internal/trie ./internal/lsm ./internal/cascade ./internal/distrib ./internal/router ./internal/analysis
 
 echo "== bench smoke =="
 # One iteration of every benchmark, so bench code cannot silently rot; the
